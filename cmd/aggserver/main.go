@@ -1,0 +1,60 @@
+// Command aggserver runs the host-side Trio-ML aggregation server: the same
+// block/record/straggler protocol as the in-network version, served over a
+// real UDP socket (see internal/hostagg).
+//
+// Usage:
+//
+//	aggserver [-listen :12000] [-workers 6] [-timeout 10ms] [-stats 5s]
+package main
+
+import (
+	"flag"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/trioml/triogo/internal/hostagg"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":12000", "UDP listen address")
+		workers  = flag.Int("workers", 6, "number of workers per job")
+		timeout  = flag.Duration("timeout", 10*time.Millisecond, "straggler timeout (0 disables)")
+		statsInt = flag.Duration("stats", 10*time.Second, "stats logging interval (0 disables)")
+	)
+	flag.Parse()
+
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	srv, err := hostagg.NewServer(hostagg.ServerConfig{
+		ListenAddr: *listen, NumWorkers: *workers, Timeout: *timeout, Logger: log,
+	})
+	if err != nil {
+		log.Error("start", "err", err)
+		os.Exit(1)
+	}
+	log.Info("aggserver listening", "addr", srv.Addr(), "workers", *workers, "timeout", *timeout)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	if *statsInt > 0 {
+		go func() {
+			for range time.Tick(*statsInt) {
+				st := srv.Stats()
+				log.Info("stats", "packets", st.Packets, "completed", st.Completed,
+					"degraded", st.Degraded, "duplicates", st.Duplicates,
+					"stale", st.StaleDrops, "pending", srv.Pending())
+			}
+		}()
+	}
+
+	<-stop
+	log.Info("shutting down")
+	if err := srv.Close(); err != nil {
+		log.Error("close", "err", err)
+		os.Exit(1)
+	}
+}

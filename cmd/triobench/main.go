@@ -1,0 +1,78 @@
+// Command triobench regenerates the tables and figures of the paper's
+// evaluation (§6) on the simulated Trio/PISA substrates.
+//
+// Usage:
+//
+//	triobench [-exp all|table1,fig12,...] [-full] [-seed N] [-quiet] [-list]
+//
+// Quick mode (default) shrinks sweep sizes so the whole suite runs in about
+// a minute; -full uses paper-scale parameters (several minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/trioml/triogo/internal/harness"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "comma-separated experiments to run, or 'all'")
+		full  = flag.Bool("full", false, "paper-scale sweeps instead of quick mode")
+		seed  = flag.Uint64("seed", 1, "experiment seed")
+		quiet = flag.Bool("quiet", false, "suppress progress logging")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("  %-10s %s\n", e.Name, e.Desc)
+		}
+		return
+	}
+
+	var names []string
+	if *exp == "all" {
+		for _, e := range harness.Experiments() {
+			names = append(names, e.Name)
+		}
+	} else {
+		names = strings.Split(*exp, ",")
+	}
+
+	var logw io.Writer = os.Stderr
+	if *quiet {
+		logw = nil
+	}
+	params := harness.Params{Quick: !*full, Seed: *seed, Log: logw}
+
+	exitCode := 0
+	for _, name := range names {
+		e, ok := harness.Lookup(strings.TrimSpace(name))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "triobench: unknown experiment %q (use -list)\n", name)
+			exitCode = 2
+			continue
+		}
+		start := time.Now()
+		tables, err := e.Run(params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "triobench: %s failed: %v\n", e.Name, err)
+			exitCode = 1
+			continue
+		}
+		for _, t := range tables {
+			t.Render(os.Stdout)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.Name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	os.Exit(exitCode)
+}

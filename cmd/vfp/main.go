@@ -1,0 +1,81 @@
+// Command vfp runs a vMX-style virtual forwarding plane (§3.1 of the
+// paper): it assembles a Microcode program and executes it against real UDP
+// traffic, forwarding packets the program accepts to a downstream address.
+//
+// Usage:
+//
+//	vfp -listen :9000 -forward 127.0.0.1:9001 [-entry label] prog.mc
+//
+// Each received datagram is reframed as a synthetic Ethernet/IPv4/UDP
+// packet (so programs parse the same headers they would on the chip), run
+// through a software PPE thread with real shared-memory and hash-engine
+// state, and relayed or dropped per the program's verdict.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/trioml/triogo/internal/microcode"
+	"github.com/trioml/triogo/internal/vfp"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":9000", "UDP listen address")
+		forward  = flag.String("forward", "", "downstream UDP address for forwarded packets")
+		entry    = flag.String("entry", "", "entry label (default: first instruction)")
+		statsInt = flag.Duration("stats", 10*time.Second, "stats logging interval (0 disables)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: vfp [flags] prog.mc")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := microcode.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	v, err := vfp.New(vfp.Config{
+		ListenAddr: *listen, ForwardAddr: *forward,
+		Program: prog, Entry: *entry, Logger: log,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	log.Info("vfp running", "listen", v.Addr(), "forward", *forward,
+		"program", prog.Name, "instructions", prog.Len())
+
+	if *statsInt > 0 {
+		go func() {
+			for range time.Tick(*statsInt) {
+				s := v.Snapshot()
+				log.Info("stats", "received", s.Received, "forwarded", s.Forwarded,
+					"dropped", s.Dropped, "consumed", s.Consumed, "errors", s.Errors)
+			}
+		}()
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Info("shutting down")
+	if err := v.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vfp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module github.com/trioml/triogo
+
+go 1.24

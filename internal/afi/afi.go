@@ -1,0 +1,236 @@
+// Package afi models Juniper's Advanced Forwarding Interface (§3.1 of the
+// paper): packet forwarding expressed as a graph of operations executed by a
+// PFE, with a *sandbox* — a contained section of the forwarding path that
+// third-party developers may control, adding, removing and reordering
+// operations for specific packets without touching the surrounding
+// forwarding path.
+//
+// A Graph compiles to a pfe.App; each node charges its instruction cost on
+// the executing PPE thread, so AFI programs compose with the rest of the
+// simulator's accounting.
+package afi
+
+import (
+	"fmt"
+
+	"github.com/trioml/triogo/internal/trio/pfe"
+)
+
+// Disposition is a node's verdict on the packet.
+type Disposition int
+
+// Node dispositions.
+const (
+	// Continue proceeds to the next node on the path.
+	Continue Disposition = iota
+	// Forward terminates the path, forwarding out the port set on the
+	// context.
+	Forward
+	// Drop terminates the path, discarding the packet.
+	Drop
+	// Consume terminates the path, absorbing the packet into state.
+	Consume
+)
+
+// Pkt is the view of the packet a node operates on.
+type Pkt struct {
+	Ctx *pfe.Ctx
+	// EgressPort is where Forward sends the packet; nodes may rewrite it
+	// (e.g. a load-balancing node).
+	EgressPort int
+}
+
+// Node is one operation on the forwarding-path graph.
+type Node interface {
+	// Name identifies the node within its graph; unique per graph.
+	Name() string
+	// Cost is the node's instruction charge per packet.
+	Cost() int
+	// Process executes the operation.
+	Process(p *Pkt) Disposition
+}
+
+// Graph is a forwarding path: an ordered chain of nodes, optionally
+// containing one sandbox region that third-party code may mutate.
+type Graph struct {
+	fixedHead []Node // operator-owned prefix
+	fixedTail []Node // operator-owned suffix
+	sandbox   []Node // third-party-owned middle section
+	names     map[string]bool
+	sealed    bool
+}
+
+// NewGraph returns an empty forwarding path.
+func NewGraph() *Graph {
+	return &Graph{names: map[string]bool{}}
+}
+
+func (g *Graph) addName(n Node) error {
+	if g.names[n.Name()] {
+		return fmt.Errorf("afi: duplicate node %q", n.Name())
+	}
+	g.names[n.Name()] = true
+	return nil
+}
+
+// Append adds an operator-owned node to the path. Nodes appended before
+// OpenSandbox precede the sandbox; nodes appended after follow it.
+func (g *Graph) Append(n Node) error {
+	if err := g.addName(n); err != nil {
+		return err
+	}
+	if g.sealed {
+		g.fixedTail = append(g.fixedTail, n)
+	} else {
+		g.fixedHead = append(g.fixedHead, n)
+	}
+	return nil
+}
+
+// OpenSandbox marks the position of the third-party sandbox; all later
+// Append calls add operator nodes after the sandbox. It returns the sandbox
+// handle. Only one sandbox per graph.
+func (g *Graph) OpenSandbox() (*Sandbox, error) {
+	if g.sealed {
+		return nil, fmt.Errorf("afi: graph already has a sandbox")
+	}
+	g.sealed = true
+	return &Sandbox{g: g}, nil
+}
+
+// Nodes reports the full path in execution order (diagnostics).
+func (g *Graph) Nodes() []string {
+	var out []string
+	for _, n := range g.fixedHead {
+		out = append(out, n.Name())
+	}
+	for _, n := range g.sandbox {
+		out = append(out, n.Name())
+	}
+	for _, n := range g.fixedTail {
+		out = append(out, n.Name())
+	}
+	return out
+}
+
+// App compiles the graph into a PFE application. The graph may keep being
+// mutated through its sandbox afterwards; packets observe the current path.
+func (g *Graph) App(defaultEgress int) pfe.App {
+	return pfe.AppFunc(func(ctx *pfe.Ctx) {
+		p := &Pkt{Ctx: ctx, EgressPort: defaultEgress}
+		run := func(nodes []Node) Disposition {
+			for _, n := range nodes {
+				ctx.ChargeInstr(n.Cost())
+				if d := n.Process(p); d != Continue {
+					return d
+				}
+			}
+			return Continue
+		}
+		d := run(g.fixedHead)
+		if d == Continue {
+			d = run(g.sandbox)
+		}
+		if d == Continue {
+			d = run(g.fixedTail)
+		}
+		switch d {
+		case Forward, Continue: // falling off the end forwards, like a route
+			ctx.Forward(p.EgressPort)
+		case Consume:
+			ctx.Consume()
+		default:
+			ctx.Drop()
+		}
+	})
+}
+
+// Sandbox is the third-party-controlled section of the path. All mutations
+// are confined to it — "the sandbox enables developers to add, remove and
+// change the order of operations for specific packets" (§3.1).
+type Sandbox struct {
+	g *Graph
+}
+
+// Nodes lists the sandbox's nodes in order.
+func (s *Sandbox) Nodes() []string {
+	out := make([]string, len(s.g.sandbox))
+	for i, n := range s.g.sandbox {
+		out[i] = n.Name()
+	}
+	return out
+}
+
+// Add appends a node to the sandbox.
+func (s *Sandbox) Add(n Node) error {
+	if err := s.g.addName(n); err != nil {
+		return err
+	}
+	s.g.sandbox = append(s.g.sandbox, n)
+	return nil
+}
+
+// InsertAfter places a node directly after the named sandbox node ("" means
+// at the front).
+func (s *Sandbox) InsertAfter(after string, n Node) error {
+	idx := 0
+	if after != "" {
+		idx = s.find(after)
+		if idx < 0 {
+			return fmt.Errorf("afi: sandbox has no node %q", after)
+		}
+		idx++
+	}
+	if err := s.g.addName(n); err != nil {
+		return err
+	}
+	sb := s.g.sandbox
+	sb = append(sb, nil)
+	copy(sb[idx+1:], sb[idx:])
+	sb[idx] = n
+	s.g.sandbox = sb
+	return nil
+}
+
+// Remove deletes a sandbox node by name.
+func (s *Sandbox) Remove(name string) error {
+	idx := s.find(name)
+	if idx < 0 {
+		return fmt.Errorf("afi: sandbox has no node %q", name)
+	}
+	delete(s.g.names, name)
+	s.g.sandbox = append(s.g.sandbox[:idx], s.g.sandbox[idx+1:]...)
+	return nil
+}
+
+// Reorder rearranges the sandbox to the given permutation of its current
+// node names.
+func (s *Sandbox) Reorder(names []string) error {
+	if len(names) != len(s.g.sandbox) {
+		return fmt.Errorf("afi: reorder lists %d nodes, sandbox has %d", len(names), len(s.g.sandbox))
+	}
+	seen := map[string]bool{}
+	var next []Node
+	for _, name := range names {
+		if seen[name] {
+			return fmt.Errorf("afi: node %q listed twice", name)
+		}
+		seen[name] = true
+		idx := s.find(name)
+		if idx < 0 {
+			return fmt.Errorf("afi: sandbox has no node %q", name)
+		}
+		next = append(next, s.g.sandbox[idx])
+	}
+	s.g.sandbox = next
+	return nil
+}
+
+func (s *Sandbox) find(name string) int {
+	for i, n := range s.g.sandbox {
+		if n.Name() == name {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,246 @@
+package afi
+
+import (
+	"testing"
+
+	"github.com/trioml/triogo/internal/packet"
+	"github.com/trioml/triogo/internal/sim"
+	"github.com/trioml/triogo/internal/trio/pfe"
+	"github.com/trioml/triogo/internal/trio/smem"
+)
+
+type testRig struct {
+	eng   *sim.Engine
+	pfe   *pfe.PFE
+	outAt map[int]int // port -> frames delivered
+}
+
+func newRig(t *testing.T, g *Graph) *testRig {
+	t.Helper()
+	eng := sim.NewEngine()
+	p := pfe.New(eng, pfe.Config{})
+	p.SetApp(g.App(1))
+	r := &testRig{eng: eng, pfe: p, outAt: map[int]int{}}
+	p.SetOutput(func(port int, frame []byte, at sim.Time) { r.outAt[port]++ })
+	return r
+}
+
+func udpFrame(srcPort uint16) []byte {
+	return packet.BuildUDP(packet.UDPSpec{
+		SrcIP: [4]byte{10, 0, 0, 1}, DstIP: [4]byte{10, 0, 0, 2},
+		SrcPort: srcPort, DstPort: 80,
+	}, []byte("payload"))
+}
+
+func TestEmptyGraphForwardsOnDefaultPort(t *testing.T) {
+	g := NewGraph()
+	r := newRig(t, g)
+	r.pfe.Inject(0, 1, udpFrame(1000))
+	r.eng.Run()
+	if r.outAt[1] != 1 {
+		t.Fatalf("out = %v", r.outAt)
+	}
+}
+
+func TestChainCounterFilterForward(t *testing.T) {
+	g := NewGraph()
+	eng := sim.NewEngine()
+	p := pfe.New(eng, pfe.Config{})
+	cnt := p.Mem.Alloc(smem.TierSRAM, 16)
+	if err := g.Append(&CounterNode{NodeName: "count", Addr: cnt}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Append(&FilterNode{NodeName: "no-arp", DropIf: func(f *packet.Frame) bool {
+		return f.Eth.EtherType != packet.EtherTypeIPv4
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Append(&ForwardNode{NodeName: "out", Port: 3}); err != nil {
+		t.Fatal(err)
+	}
+	p.SetApp(g.App(0))
+	forwards := 0
+	p.SetOutput(func(port int, frame []byte, at sim.Time) {
+		if port == 3 {
+			forwards++
+		}
+	})
+	p.Inject(0, 1, udpFrame(1))
+	arp := make([]byte, 64)
+	(&packet.Ethernet{EtherType: packet.EtherTypeARP}).MarshalTo(arp)
+	p.Inject(0, 2, arp)
+	eng.Run()
+	if forwards != 1 {
+		t.Fatalf("forwards = %d", forwards)
+	}
+	pkts, _ := p.Mem.Counter(cnt)
+	if pkts != 2 {
+		t.Fatalf("counter = %d, want 2 (counter precedes filter)", pkts)
+	}
+}
+
+func TestSandboxMutationsVisibleToTraffic(t *testing.T) {
+	g := NewGraph()
+	g.Append(&FuncNode{NodeName: "pre", Fn: func(p *Pkt) Disposition { return Continue }})
+	sb, err := g.OpenSandbox()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Append(&ForwardNode{NodeName: "post", Port: 1})
+
+	r := newRig(t, g)
+	send := func() {
+		r.pfe.Inject(0, 1, udpFrame(7))
+		r.eng.Run()
+	}
+	// Empty sandbox: packet flows through.
+	send()
+	if r.outAt[1] != 1 {
+		t.Fatalf("out = %v", r.outAt)
+	}
+	// A third-party drop node takes effect immediately.
+	if err := sb.Add(&FuncNode{NodeName: "tp-drop", Fn: func(p *Pkt) Disposition { return Drop }}); err != nil {
+		t.Fatal(err)
+	}
+	send()
+	if r.outAt[1] != 1 {
+		t.Fatal("sandbox drop ignored")
+	}
+	// Removing it restores forwarding.
+	if err := sb.Remove("tp-drop"); err != nil {
+		t.Fatal(err)
+	}
+	send()
+	if r.outAt[1] != 2 {
+		t.Fatalf("out = %v", r.outAt)
+	}
+}
+
+func TestSandboxInsertAndReorder(t *testing.T) {
+	g := NewGraph()
+	sb, _ := g.OpenSandbox()
+	var order []string
+	mk := func(name string) Node {
+		return &FuncNode{NodeName: name, Fn: func(p *Pkt) Disposition {
+			order = append(order, name)
+			return Continue
+		}}
+	}
+	sb.Add(mk("a"))
+	sb.Add(mk("c"))
+	if err := sb.InsertAfter("a", mk("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.InsertAfter("", mk("z")); err != nil {
+		t.Fatal(err)
+	}
+	r := newRig(t, g)
+	r.pfe.Inject(0, 1, udpFrame(1))
+	r.eng.Run()
+	want := []string{"z", "a", "b", "c"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	order = nil
+	if err := sb.Reorder([]string{"c", "b", "a", "z"}); err != nil {
+		t.Fatal(err)
+	}
+	r.pfe.Inject(0, 2, udpFrame(2))
+	r.eng.Run()
+	if order[0] != "c" || order[3] != "z" {
+		t.Fatalf("order after reorder = %v", order)
+	}
+}
+
+func TestSandboxErrors(t *testing.T) {
+	g := NewGraph()
+	sb, _ := g.OpenSandbox()
+	if _, err := g.OpenSandbox(); err == nil {
+		t.Fatal("second sandbox accepted")
+	}
+	sb.Add(&FuncNode{NodeName: "x", Fn: func(p *Pkt) Disposition { return Continue }})
+	if err := sb.Add(&FuncNode{NodeName: "x", Fn: nil}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if err := sb.Remove("nope"); err == nil {
+		t.Fatal("removing missing node accepted")
+	}
+	if err := sb.InsertAfter("nope", &FuncNode{NodeName: "y"}); err == nil {
+		t.Fatal("inserting after missing node accepted")
+	}
+	if err := sb.Reorder([]string{"x", "x"}); err == nil {
+		t.Fatal("bad reorder accepted")
+	}
+	if err := sb.Reorder([]string{"x", "y"}); err == nil {
+		t.Fatal("wrong-length reorder accepted")
+	}
+}
+
+func TestGraphNodesListsFullPath(t *testing.T) {
+	g := NewGraph()
+	g.Append(&ForwardNode{NodeName: "head", Port: 0})
+	sb, _ := g.OpenSandbox()
+	sb.Add(&FuncNode{NodeName: "mid", Fn: func(p *Pkt) Disposition { return Continue }})
+	g.Append(&ForwardNode{NodeName: "tail", Port: 0})
+	got := g.Nodes()
+	want := []string{"head", "mid", "tail"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("nodes = %v", got)
+		}
+	}
+}
+
+func TestPolicerNodeDropsExcess(t *testing.T) {
+	g := NewGraph()
+	eng := sim.NewEngine()
+	p := pfe.New(eng, pfe.Config{})
+	addr := p.Mem.Alloc(smem.TierSRAM, 24)
+	cfg := smem.PolicerConfig{RateBytesPerSec: 1000, BurstBytes: 100}
+	p.Mem.PolicerInit(addr, cfg)
+	g.Append(&PolicerNode{NodeName: "police", Mem: p.Mem, Addr: addr, Cfg: cfg})
+	p.SetApp(g.App(1))
+	delivered := 0
+	p.SetOutput(func(int, []byte, sim.Time) { delivered++ })
+	for i := 0; i < 5; i++ {
+		p.Inject(0, uint64(i), udpFrame(uint16(i))) // ~53 B each, burst 100 B
+	}
+	eng.Run()
+	if delivered >= 5 || delivered == 0 {
+		t.Fatalf("delivered = %d, want partial conformance", delivered)
+	}
+}
+
+func TestLoadBalanceNodeSpreadsFlows(t *testing.T) {
+	g := NewGraph()
+	g.Append(&LoadBalanceNode{NodeName: "ecmp", Ports: []int{2, 3, 4, 5}})
+	r := newRig(t, g)
+	for i := 0; i < 200; i++ {
+		r.pfe.Inject(0, uint64(i), udpFrame(uint16(1000+i)))
+	}
+	r.eng.Run()
+	used := 0
+	for port, n := range r.outAt {
+		if port >= 2 && port <= 5 && n > 0 {
+			used++
+		}
+	}
+	if used != 4 {
+		t.Fatalf("ports used = %d (%v)", used, r.outAt)
+	}
+	// Same flow always picks the same port (hash determinism).
+	g2 := NewGraph()
+	g2.Append(&LoadBalanceNode{NodeName: "ecmp", Ports: []int{2, 3, 4, 5}})
+	r2 := newRig(t, g2)
+	r2.pfe.Inject(0, 1, udpFrame(1234))
+	r2.pfe.Inject(0, 2, udpFrame(1234))
+	r2.eng.Run()
+	for port, n := range r2.outAt {
+		if n == 2 && port >= 2 {
+			return
+		}
+	}
+	t.Fatalf("same flow split across ports: %v", r2.outAt)
+}

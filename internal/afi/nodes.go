@@ -1,0 +1,140 @@
+package afi
+
+import (
+	"github.com/trioml/triogo/internal/packet"
+	"github.com/trioml/triogo/internal/trio/hasheng"
+	"github.com/trioml/triogo/internal/trio/smem"
+)
+
+// Stock forwarding-path operations. Each mirrors a standard Trio forwarding
+// feature; third-party sandboxes compose them with custom FuncNodes.
+
+// FuncNode wraps a function as a node.
+type FuncNode struct {
+	NodeName string
+	Instr    int
+	Fn       func(p *Pkt) Disposition
+}
+
+// Name implements Node.
+func (n *FuncNode) Name() string { return n.NodeName }
+
+// Cost implements Node.
+func (n *FuncNode) Cost() int {
+	if n.Instr == 0 {
+		return 2
+	}
+	return n.Instr
+}
+
+// Process implements Node.
+func (n *FuncNode) Process(p *Pkt) Disposition { return n.Fn(p) }
+
+// CounterNode increments a Packet/Byte Counter for every packet that passes.
+type CounterNode struct {
+	NodeName string
+	Addr     uint64
+}
+
+// Name implements Node.
+func (n *CounterNode) Name() string { return n.NodeName }
+
+// Cost implements Node.
+func (n *CounterNode) Cost() int { return 2 }
+
+// Process implements Node.
+func (n *CounterNode) Process(p *Pkt) Disposition {
+	p.Ctx.CounterInc(n.Addr, uint32(p.Ctx.FrameLen()))
+	return Continue
+}
+
+// FilterNode drops packets matching a predicate over the decoded frame.
+type FilterNode struct {
+	NodeName string
+	DropIf   func(f *packet.Frame) bool
+}
+
+// Name implements Node.
+func (n *FilterNode) Name() string { return n.NodeName }
+
+// Cost implements Node.
+func (n *FilterNode) Cost() int { return 4 }
+
+// Process implements Node.
+func (n *FilterNode) Process(p *Pkt) Disposition {
+	f, err := packet.Decode(p.Ctx.Head())
+	if err != nil || n.DropIf(f) {
+		return Drop
+	}
+	return Continue
+}
+
+// PolicerNode rate-limits the path with a token-bucket policer in shared
+// memory.
+type PolicerNode struct {
+	NodeName string
+	Mem      *smem.Memory
+	Addr     uint64
+	Cfg      smem.PolicerConfig
+}
+
+// Name implements Node.
+func (n *PolicerNode) Name() string { return n.NodeName }
+
+// Cost implements Node.
+func (n *PolicerNode) Cost() int { return 2 }
+
+// Process implements Node.
+func (n *PolicerNode) Process(p *Pkt) Disposition {
+	ok, _ := n.Mem.Police(p.Ctx.Now(), n.Addr, n.Cfg, uint32(p.Ctx.FrameLen()))
+	if !ok {
+		return Drop
+	}
+	return Continue
+}
+
+// LoadBalanceNode selects the egress port by hashing programmer-selected
+// packet fields with the hardwired hash function (§2.2).
+type LoadBalanceNode struct {
+	NodeName string
+	Ports    []int
+	Seed     uint64
+}
+
+// Name implements Node.
+func (n *LoadBalanceNode) Name() string { return n.NodeName }
+
+// Cost implements Node.
+func (n *LoadBalanceNode) Cost() int { return 3 }
+
+// Process implements Node.
+func (n *LoadBalanceNode) Process(p *Pkt) Disposition {
+	f, err := packet.Decode(p.Ctx.Head())
+	if err != nil {
+		return Drop
+	}
+	h := hasheng.HashFields(n.Seed, f.IP.Src[:], f.IP.Dst[:],
+		[]byte{f.IP.Protocol},
+		[]byte{byte(f.UDP.SrcPort >> 8), byte(f.UDP.SrcPort)},
+		[]byte{byte(f.UDP.DstPort >> 8), byte(f.UDP.DstPort)})
+	p.EgressPort = n.Ports[h%uint64(len(n.Ports))]
+	return Continue
+}
+
+// ForwardNode terminates the path, forwarding out a fixed port.
+type ForwardNode struct {
+	NodeName string
+	Port     int
+}
+
+// Name implements Node.
+func (n *ForwardNode) Name() string { return n.NodeName }
+
+// Cost implements Node.
+func (n *ForwardNode) Cost() int { return 1 }
+
+// Process implements Node.
+func (n *ForwardNode) Process(p *Pkt) Disposition {
+	p.EgressPort = n.Port
+	return Forward
+}

@@ -1,0 +1,84 @@
+// Package bitfield reads and writes integer fields of arbitrary bit width at
+// arbitrary bit offsets within byte slices.
+//
+// Trio's Microcode lets every ALU operand and result be "a bit-field of
+// arbitrary length (up to 32 bits) and an arbitrary bit offset" (§2.2 of the
+// paper), and the Trio-ML header and record structures (Fig. 8, Appendix A.1)
+// are declared as ordered lists of field widths. This package is the single
+// implementation of that addressing model, shared by the Microcode ALUs, the
+// packet layers, and the Trio-ML record codecs.
+//
+// Bit order is big-endian and MSB-first within each byte, matching network
+// header conventions: bit offset 0 is the most significant bit of b[0].
+package bitfield
+
+import "fmt"
+
+// MaxWidth is the widest field Get/Put support.
+const MaxWidth = 64
+
+// Get extracts a width-bit unsigned integer starting at absolute bit offset
+// off. It panics if the field overflows the slice or width is out of range;
+// field geometry is static in every caller, so a failure is a programming
+// error rather than an input error.
+func Get(b []byte, off, width uint) uint64 {
+	check(len(b), off, width)
+	var v uint64
+	for i := uint(0); i < width; {
+		byteIdx := (off + i) / 8
+		bitIdx := (off + i) % 8
+		take := 8 - bitIdx // bits available in this byte
+		if take > width-i {
+			take = width - i
+		}
+		chunk := uint64(b[byteIdx]>>(8-bitIdx-take)) & ((1 << take) - 1)
+		v = v<<take | chunk
+		i += take
+	}
+	return v
+}
+
+// Put stores the low width bits of v starting at absolute bit offset off.
+// Bits of v above width are ignored.
+func Put(b []byte, off, width uint, v uint64) {
+	check(len(b), off, width)
+	for i := width; i > 0; {
+		byteIdx := (off + i - 1) / 8
+		bitIdx := (off + i - 1) % 8
+		take := bitIdx + 1 // bits writable at the tail of this byte
+		if take > i {
+			take = i
+		}
+		shift := 8 - bitIdx - 1 // LSB position of the chunk within the byte
+		mask := byte((1<<take)-1) << shift
+		b[byteIdx] = b[byteIdx]&^mask | byte(v&((1<<take)-1))<<shift
+		v >>= take
+		i -= take
+	}
+}
+
+func check(n int, off, width uint) {
+	if width == 0 || width > MaxWidth {
+		panic(fmt.Sprintf("bitfield: width %d out of range [1,%d]", width, MaxWidth))
+	}
+	if end := off + width; end > uint(n)*8 {
+		panic(fmt.Sprintf("bitfield: field [%d,%d) overflows %d-byte buffer", off, end, n))
+	}
+}
+
+// SignExtend interprets the low width bits of v as a two's-complement signed
+// integer and returns it widened to int64.
+func SignExtend(v uint64, width uint) int64 {
+	if width == 0 || width > 64 {
+		panic(fmt.Sprintf("bitfield: width %d out of range", width))
+	}
+	if width == 64 {
+		return int64(v)
+	}
+	sign := uint64(1) << (width - 1)
+	v &= (1 << width) - 1
+	if v&sign != 0 {
+		return int64(v | ^uint64(0)<<width)
+	}
+	return int64(v)
+}

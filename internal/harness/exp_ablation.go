@@ -1,0 +1,204 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/trioml/triogo/internal/mltrain"
+	"github.com/trioml/triogo/internal/packet"
+	"github.com/trioml/triogo/internal/sim"
+	"github.com/trioml/triogo/internal/switchml"
+	"github.com/trioml/triogo/internal/trio"
+	"github.com/trioml/triogo/internal/trio/hasheng"
+	"github.com/trioml/triogo/internal/trio/smem"
+	"github.com/trioml/triogo/internal/trioml"
+)
+
+func init() {
+	register(Experiment{
+		Name: "ablation",
+		Desc: "Design-choice ablations: RMW banking, timer-thread fan-out, REF-flag scanning, SwitchML packet sizes, hierarchical fan-in",
+		Run:  runAblation,
+	})
+}
+
+func runAblation(p Params) ([]*Table, error) {
+	tables := []*Table{
+		ablationRMWBanking(),
+		ablationTimerFanout(),
+		ablationREFScan(),
+	}
+	sw, err := ablationSwitchMLPacketSize(p)
+	if err != nil {
+		return nil, err
+	}
+	tables = append(tables, sw, ablationHierarchy())
+	return tables, nil
+}
+
+// ablationRMWBanking: a burst of vector adds offered at one instant drains
+// ~NumEngines times faster with banking (§2.3: "the read-modify-write
+// processing bandwidth scales with the raw memory bandwidth").
+func ablationRMWBanking() *Table {
+	t := &Table{
+		Title:   "Ablation: banked vs single read-modify-write engine",
+		Columns: []string{"Engines", "Burst drain (virtual us)", "Speedup"},
+		Notes:   []string{"512 sixteen-gradient vector adds offered at t=0; time until the last engine op completes."},
+	}
+	deltas := make([]int32, 16)
+	drain := func(engines int) sim.Time {
+		m := smem.New(smem.Config{NumRMWEngines: engines})
+		addr := m.Alloc(smem.TierSRAM, 1<<16)
+		var done sim.Time
+		for j := 0; j < 512; j++ {
+			if d := m.AddVector32(0, addr+uint64(j)*64, deltas); d > done {
+				done = d
+			}
+		}
+		return done
+	}
+	base := drain(1)
+	for _, n := range []int{1, 4, 12, 24} {
+		d := drain(n)
+		t.AddRow(n, d.Microseconds(), fmt.Sprintf("%.1fx", float64(base)/float64(d)))
+	}
+	return t
+}
+
+// ablationTimerFanout: §5's N staggered threads each sweep 1/N of the table.
+func ablationTimerFanout() *Table {
+	t := &Table{
+		Title:   "Ablation: timer-thread fan-out for hash-table scanning (20k records)",
+		Columns: []string{"Threads", "Worst per-thread sweep (virtual us)"},
+		Notes:   []string{"Per-thread work shrinks by 1/N, so detection latency stays bounded however large the table grows (§5)."},
+	}
+	for _, n := range []int{1, 10, 100} {
+		tb := hasheng.NewTable(hasheng.Config{Buckets: 8192})
+		for k := uint64(0); k < 20000; k++ {
+			tb.Insert(0, k, k)
+		}
+		var worst sim.Time
+		for part := 0; part < n; part++ {
+			_, done := tb.ScanPartition(0, part, n, func(uint64, uint64, bool) hasheng.ScanAction {
+				return hasheng.ScanClearRef
+			})
+			if done > worst {
+				worst = done
+			}
+		}
+		t.AddRow(n, worst.Microseconds())
+	}
+	return t
+}
+
+// ablationREFScan: the hardware REF flag lets a sweep decide "aged or not"
+// without touching shared memory; the alternative reads each record's
+// timestamp — a 64-byte memory transaction per record.
+func ablationREFScan() *Table {
+	t := &Table{
+		Title:   "Ablation: REF-flag aging vs per-record timestamp reads (5k records, one sweep)",
+		Columns: []string{"Strategy", "Sweep time (virtual us)", "Memory ops"},
+	}
+	const records = 5000
+	build := func() (*hasheng.Table, *smem.Memory, []uint64) {
+		tb := hasheng.NewTable(hasheng.Config{Buckets: 8192})
+		m := smem.New(smem.Config{})
+		addrs := make([]uint64, records)
+		for k := uint64(0); k < records; k++ {
+			addrs[k] = m.Alloc(smem.TierSRAM, 64)
+			tb.Insert(0, k, addrs[k])
+		}
+		return tb, m, addrs
+	}
+
+	// REF strategy: flag check only.
+	tb, m, _ := build()
+	_, done := tb.ScanPartition(0, 0, 1, func(_, _ uint64, ref bool) hasheng.ScanAction {
+		return hasheng.ScanClearRef
+	})
+	t.AddRow("REF flags (Trio)", done.Microseconds(), m.TotalOps())
+
+	// Timestamp strategy: one synchronous record read per visit; the sweep
+	// completes when the last read completes.
+	tb, m, _ = build()
+	var now sim.Time
+	_, scanDone := tb.ScanPartition(0, 0, 1, func(_, val uint64, _ bool) hasheng.ScanAction {
+		_, d := m.Read(now, val, 64)
+		if d > now {
+			now = d
+		}
+		return hasheng.ScanKeep
+	})
+	if scanDone > now {
+		now = scanDone
+	}
+	t.AddRow("timestamp reads", now.Microseconds(), m.TotalOps())
+	return t
+}
+
+// ablationSwitchMLPacketSize compares SwitchML-64 and SwitchML-256 (§6.1:
+// "SwitchML-256 performs better than SwitchML-64").
+func ablationSwitchMLPacketSize(p Params) (*Table, error) {
+	t := &Table{
+		Title:   "Ablation: SwitchML-64 vs SwitchML-256 (ResNet50 iteration time, p=0)",
+		Columns: []string{"Variant", "AvgIter(ms)"},
+		Notes:   []string{"Smaller packets quadruple the packet count for the same gradients (§6.1)."},
+	}
+	scale, iters := trainScale(p)
+	for _, grads := range []int{switchml.Grads64, switchml.Grads256} {
+		c, err := mltrain.NewCluster(mltrain.ClusterConfig{
+			Model: mltrain.Models()[0], System: mltrain.SystemSwitchML,
+			GradsPerPacket: grads, Scale: scale, Seed: p.seed(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := c.Run(iters / 2)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("SwitchML-%d", grads), mltrain.AvgIterTime(res, 1).Milliseconds())
+	}
+	return t, nil
+}
+
+// ablationHierarchy: hierarchical aggregation reduces data as it moves up
+// (§4) — the fabric carries one stream per first-level PFE instead of one
+// per worker.
+func ablationHierarchy() *Table {
+	t := &Table{
+		Title:   "Ablation: hierarchical vs single-level aggregation fan-in (6 workers, 64 blocks of 512 gradients)",
+		Columns: []string{"Topology", "Top-level ingress streams", "Fabric bytes", "Worker bytes sent"},
+	}
+	const blocks, grads = 64, 512
+	workerBytes := 6 * blocks * (54 + 4*grads)
+
+	// Single level: all six workers feed one PFE directly; no fabric.
+	t.AddRow("single-level (1 PFE)", 6, 0, workerBytes)
+
+	// Hierarchical: 2 groups of 3 feed a top-level PFE over the fabric.
+	eng := sim.NewEngine()
+	r := trio.New(eng, trio.Config{NumPFEs: 3, PFE: trioml.RecommendedPFEConfig()})
+	_, err := trioml.SetupHierarchy(r, trioml.HierarchyConfig{
+		JobID: 1, TopPFE: 2,
+		Groups: []trioml.HierGroup{
+			{PFE: 0, WorkerSrcIDs: []uint8{0, 1, 2}, WorkerPorts: []int{0, 1, 2}, UplinkPort: 15, TopPort: 0},
+			{PFE: 1, WorkerSrcIDs: []uint8{3, 4, 5}, WorkerPorts: []int{0, 1, 2}, UplinkPort: 15, TopPort: 1},
+		},
+		BlockGradMax: grads,
+		ResultSpec:   packet.UDPSpec{SrcIP: [4]byte{10, 0, 0, 100}, DstIP: [4]byte{224, 0, 1, 1}},
+	}, nil)
+	if err != nil {
+		panic(err) // static configuration
+	}
+	for b := uint32(0); b < blocks; b++ {
+		for w := 0; w < 6; w++ {
+			g := make([]int32, grads)
+			r.Inject(w/3, w%3, uint64(w), packet.BuildTrioML(packet.UDPSpec{
+				SrcIP: [4]byte{10, 0, 0, byte(w + 1)}, DstIP: [4]byte{10, 0, 0, 100}, SrcPort: 5000,
+			}, packet.TrioML{JobID: 1, BlockID: b, SrcID: uint8(w), GenID: 1}, g))
+		}
+	}
+	eng.Run()
+	t.AddRow("hierarchical (2+1 PFEs)", 2, r.Fabric.Bytes(), workerBytes)
+	return t
+}

@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/trioml/triogo/internal/mltrain"
+	"github.com/trioml/triogo/internal/sim"
+)
+
+// trainScale/trainIters pick the gradient scale factor and measured
+// iterations for the training experiments (DESIGN.md §4: bandwidths are
+// scaled with the gradients, so iteration times match the unscaled system).
+func trainScale(p Params) (scale, iters int) {
+	if p.Quick {
+		return 256, 10
+	}
+	return 64, 24
+}
+
+// measureIter runs a cluster and reports (avg iteration time, gradient
+// fraction).
+func measureIter(p Params, model mltrain.Model, system mltrain.System, prob float64) (sim.Time, float64, error) {
+	scale, iters := trainScale(p)
+	c, err := mltrain.NewCluster(mltrain.ClusterConfig{
+		Model: model, System: system, StragglerP: prob, Scale: scale, Seed: p.seed(),
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	res, err := c.Run(iters)
+	if err != nil {
+		return 0, 0, err
+	}
+	skip := 2
+	if iters <= 4 {
+		skip = 0
+	}
+	return mltrain.AvgIterTime(res, skip), mltrain.AvgGradFraction(res, skip), nil
+}
+
+func init() {
+	register(Experiment{
+		Name: "fig12",
+		Desc: "Fig. 12: time-to-accuracy at straggling probability p=16%",
+		Run:  runFig12,
+	})
+}
+
+func runFig12(p Params) ([]*Table, error) {
+	const prob = 0.16
+	summary := &Table{
+		Title: "Fig. 12: time-to-target-accuracy, p=16%",
+		Columns: []string{"Model", "Target", "System", "AvgIter(ms)", "GradFrac",
+			"TimeToTarget(min)", "Trio-ML speedup"},
+		Notes: []string{
+			"Speedup = SwitchML time-to-target / Trio-ML time-to-target (paper: 1.56x / 1.56x / 1.60x).",
+			"Trio-ML recovers from stragglers via partial aggregation; SwitchML waits for the straggler.",
+		},
+	}
+	var tables []*Table
+	for _, m := range mltrain.Models() {
+		p.logf("fig12: %s ...", m.Name)
+		type meas struct {
+			iter sim.Time
+			frac float64
+		}
+		got := map[mltrain.System]meas{}
+		for _, sys := range []mltrain.System{mltrain.SystemTrioML, mltrain.SystemSwitchML} {
+			it, frac, err := measureIter(p, m, sys, prob)
+			if err != nil {
+				return nil, fmt.Errorf("fig12 %s/%v: %w", m.Name, sys, err)
+			}
+			got[sys] = meas{it, frac}
+		}
+		timeTo := func(ms meas) float64 {
+			// Partial aggregation mildly reduces statistical efficiency
+			// (mltrain.StatEfficiency): more iterations are needed to reach
+			// the target when gradients are occasionally partial.
+			iters := float64(m.BaseIters) / mltrain.StatEfficiency(ms.frac)
+			return iters * ms.iter.Seconds() / 60
+		}
+		trio, swml := got[mltrain.SystemTrioML], got[mltrain.SystemSwitchML]
+		trioMin, swMin := timeTo(trio), timeTo(swml)
+		summary.AddRow(m.Name, fmt.Sprintf("%.0f%%", m.TargetAcc), "Trio-ML",
+			trio.iter.Milliseconds(), fmt.Sprintf("%.3f", trio.frac), trioMin, fmt.Sprintf("%.2fx", swMin/trioMin))
+		summary.AddRow(m.Name, fmt.Sprintf("%.0f%%", m.TargetAcc), "SwitchML",
+			swml.iter.Milliseconds(), fmt.Sprintf("%.3f", swml.frac), swMin, "1.00x")
+
+		// The accuracy-vs-time series behind each subplot.
+		curve := &Table{
+			Title:   fmt.Sprintf("Fig. 12 series: %s validation accuracy vs time (p=16%%)", m.Name),
+			Columns: []string{"Time(min)", "Trio-ML acc(%)", "SwitchML acc(%)"},
+		}
+		maxMin := swMin * 1.15
+		for i := 0; i <= 10; i++ {
+			tm := maxMin * float64(i) / 10
+			accOf := func(ms meas) float64 {
+				iters := tm * 60 / ms.iter.Seconds()
+				return m.Accuracy(iters * mltrain.StatEfficiency(ms.frac))
+			}
+			curve.AddRow(tm, accOf(trio), accOf(swml))
+		}
+		tables = append(tables, curve)
+	}
+	return append([]*Table{summary}, tables...), nil
+}

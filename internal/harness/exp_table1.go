@@ -1,0 +1,20 @@
+package harness
+
+import "github.com/trioml/triogo/internal/mltrain"
+
+func init() {
+	register(Experiment{
+		Name: "table1",
+		Desc: "Table 1: DNN models used in the experiments",
+		Run: func(p Params) ([]*Table, error) {
+			t := &Table{
+				Title:   "Table 1: DNN models used in our experiments",
+				Columns: []string{"DNN", "Model Size", "Batch size/GPU", "Dataset"},
+			}
+			for _, m := range mltrain.Models() {
+				t.AddRow(m.Name, m.SizeMB, m.BatchSize, m.Dataset)
+			}
+			return []*Table{t}, nil
+		},
+	})
+}

@@ -1,0 +1,186 @@
+package hostagg
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/trioml/triogo/internal/packet"
+)
+
+// ClientConfig parameterizes a worker client.
+type ClientConfig struct {
+	ServerAddr string // aggregator address, e.g. "127.0.0.1:12000"
+	JobID      uint8
+	SrcID      uint8
+	Window     int // outstanding blocks; default 16
+}
+
+// Result is one aggregated block delivered to the application.
+type Result struct {
+	BlockID  uint32
+	GenID    uint16
+	SrcCnt   uint8
+	Degraded bool
+	Grads    []int32
+}
+
+// Client streams gradient blocks to a hostagg server and collects results.
+type Client struct {
+	cfg  ClientConfig
+	conn *net.UDPConn
+
+	mu      sync.Mutex
+	pending map[uint32]chan Result
+	results chan Result
+	closed  chan struct{}
+	stopped sync.WaitGroup
+}
+
+// NewClient connects a worker to the aggregation server.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Window <= 0 {
+		cfg.Window = 16
+	}
+	addr, err := net.ResolveUDPAddr("udp", cfg.ServerAddr)
+	if err != nil {
+		return nil, fmt.Errorf("hostagg: resolve server: %w", err)
+	}
+	conn, err := net.DialUDP("udp", nil, addr)
+	if err != nil {
+		return nil, fmt.Errorf("hostagg: dial: %w", err)
+	}
+	c := &Client{
+		cfg: cfg, conn: conn,
+		pending: make(map[uint32]chan Result),
+		results: make(chan Result, 1024),
+		closed:  make(chan struct{}),
+	}
+	c.stopped.Add(1)
+	go c.recvLoop()
+	return c, nil
+}
+
+// Close releases the socket.
+func (c *Client) Close() error {
+	select {
+	case <-c.closed:
+		return nil
+	default:
+	}
+	close(c.closed)
+	err := c.conn.Close()
+	c.stopped.Wait()
+	return err
+}
+
+// SendBlock transmits one gradient block.
+func (c *Client) SendBlock(blockID uint32, genID uint16, grads []int32, final bool) error {
+	if len(grads) > packet.MaxGradientsPerPacket {
+		return fmt.Errorf("hostagg: %d gradients exceeds packet max %d", len(grads), packet.MaxGradientsPerPacket)
+	}
+	hdr := packet.TrioML{
+		JobID: c.cfg.JobID, BlockID: blockID, SrcID: c.cfg.SrcID,
+		GenID: genID, GradCnt: uint16(len(grads)), Final: final,
+	}
+	payload := make([]byte, packet.TrioMLHeaderLen+4*len(grads))
+	hdr.MarshalTo(payload)
+	packet.PutGradients(payload[packet.TrioMLHeaderLen:], grads)
+	_, err := c.conn.Write(payload)
+	return err
+}
+
+// Results delivers aggregated blocks as they arrive.
+func (c *Client) Results() <-chan Result { return c.results }
+
+// AllReduce streams the given gradient vector in window-limited blocks of
+// blockGrads values each and returns the aggregated vector, applying the
+// §5 recipe for degraded blocks: divide by the contributing source count
+// scaled to the full worker count. It is a convenience wrapper over
+// SendBlock/Results for synchronous use.
+func (c *Client) AllReduce(genID uint16, grads []int32, blockGrads, numWorkers int, timeout time.Duration) ([]int32, error) {
+	nBlocks := (len(grads) + blockGrads - 1) / blockGrads
+	out := make([]int32, len(grads))
+	got := make(map[uint32]bool, nBlocks)
+	next := 0
+	inFlight := 0
+	sendNext := func() error {
+		for inFlight < c.cfg.Window && next < nBlocks {
+			lo := next * blockGrads
+			hi := lo + blockGrads
+			if hi > len(grads) {
+				hi = len(grads)
+			}
+			if err := c.SendBlock(uint32(next), genID, grads[lo:hi], next == nBlocks-1); err != nil {
+				return err
+			}
+			next++
+			inFlight++
+		}
+		return nil
+	}
+	if err := sendNext(); err != nil {
+		return nil, err
+	}
+	deadline := time.After(timeout)
+	for len(got) < nBlocks {
+		select {
+		case r := <-c.results:
+			if r.GenID != genID || int(r.BlockID) >= nBlocks || got[r.BlockID] {
+				continue
+			}
+			got[r.BlockID] = true
+			inFlight--
+			lo := int(r.BlockID) * blockGrads
+			for i, g := range r.Grads {
+				if lo+i >= len(out) {
+					break
+				}
+				if r.Degraded && r.SrcCnt > 0 {
+					// Rescale the partial sum to a full-cluster estimate.
+					g = int32(int64(g) * int64(numWorkers) / int64(r.SrcCnt))
+				}
+				out[lo+i] = g
+			}
+			if err := sendNext(); err != nil {
+				return nil, err
+			}
+		case <-deadline:
+			return nil, fmt.Errorf("hostagg: allreduce timed out with %d/%d blocks", len(got), nBlocks)
+		case <-c.closed:
+			return nil, net.ErrClosed
+		}
+	}
+	return out, nil
+}
+
+func (c *Client) recvLoop() {
+	defer c.stopped.Done()
+	buf := make([]byte, 65536)
+	for {
+		n, err := c.conn.Read(buf)
+		if err != nil {
+			select {
+			case <-c.closed:
+			default:
+				close(c.results)
+			}
+			return
+		}
+		var h packet.TrioML
+		rest, err := h.Unmarshal(buf[:n])
+		if err != nil || h.SrcID != 0xFF {
+			continue
+		}
+		grads, err := packet.Gradients(rest, int(h.GradCnt))
+		if err != nil {
+			continue
+		}
+		r := Result{BlockID: h.BlockID, GenID: h.GenID, SrcCnt: h.SrcCnt, Degraded: h.Degraded, Grads: grads}
+		select {
+		case c.results <- r:
+		default: // application is not draining; drop (UDP semantics)
+		}
+	}
+}

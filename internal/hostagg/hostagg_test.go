@@ -1,0 +1,282 @@
+package hostagg
+
+import (
+	"github.com/trioml/triogo/internal/packet"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, workers int, timeout time.Duration) *Server {
+	t.Helper()
+	s, err := NewServer(ServerConfig{ListenAddr: "127.0.0.1:0", NumWorkers: workers, Timeout: timeout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func newTestClient(t *testing.T, s *Server, src uint8) *Client {
+	t.Helper()
+	c, err := NewClient(ClientConfig{ServerAddr: s.Addr().String(), JobID: 1, SrcID: src, Window: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestAllReduceOverLoopback(t *testing.T) {
+	const workers = 3
+	s := newTestServer(t, workers, 0)
+	const n = 5000 // spans multiple blocks at 1024 grads/block
+	var wg sync.WaitGroup
+	sums := make([][]int32, workers)
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		c := newTestClient(t, s, uint8(w))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			grads := make([]int32, n)
+			for i := range grads {
+				grads[i] = int32((w + 1) * (i%97 - 48))
+			}
+			sums[w], errs[w] = c.AllReduce(1, grads, 1024, workers, 10*time.Second)
+		}()
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		want := int32(6 * (i%97 - 48)) // (1+2+3)x
+		for w := 0; w < workers; w++ {
+			if sums[w][i] != want {
+				t.Fatalf("worker %d gradient %d = %d, want %d", w, i, sums[w][i], want)
+			}
+		}
+	}
+	st := s.Stats()
+	if st.Completed == 0 || st.Degraded != 0 || st.Duplicates != 0 {
+		t.Fatalf("server stats = %+v", st)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+}
+
+func TestStragglerTimeoutProducesDegradedResult(t *testing.T) {
+	const workers = 3
+	s := newTestServer(t, workers, 150*time.Millisecond)
+	// All three workers register (so results reach them), but worker 2
+	// contributes nothing to block 0.
+	c0 := newTestClient(t, s, 0)
+	c1 := newTestClient(t, s, 1)
+	c2 := newTestClient(t, s, 2)
+	if err := c2.SendBlock(99, 1, []int32{0}, false); err != nil { // registration traffic
+		t.Fatal(err)
+	}
+	grads := []int32{10, 20, 30}
+	start := time.Now()
+	if err := c0.SendBlock(0, 1, grads, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.SendBlock(0, 1, grads, false); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case r := <-c0.Results():
+			if r.BlockID != 0 {
+				continue // the registration block (99) also ages out
+			}
+			if !r.Degraded || r.SrcCnt != 2 {
+				t.Fatalf("result = %+v, want degraded with 2 sources", r)
+			}
+			if r.Grads[0] != 20 || r.Grads[2] != 60 {
+				t.Fatalf("partial sums = %v", r.Grads)
+			}
+			if elapsed := time.Since(start); elapsed > 3*150*time.Millisecond {
+				t.Fatalf("mitigation took %v, want within ~2x timeout", elapsed)
+			}
+		case <-deadline:
+			t.Fatal("no degraded result for block 0")
+		}
+		break
+	}
+	if s.Stats().Degraded == 0 {
+		t.Fatal("server did not count a degraded block")
+	}
+}
+
+func TestDuplicateContributionIgnored(t *testing.T) {
+	const workers = 2
+	s := newTestServer(t, workers, 0)
+	c0 := newTestClient(t, s, 0)
+	c1 := newTestClient(t, s, 1)
+	g := []int32{7}
+	c0.SendBlock(0, 1, g, false)
+	c0.SendBlock(0, 1, g, false) // retransmission
+	time.Sleep(50 * time.Millisecond)
+	c1.SendBlock(0, 1, g, false)
+	select {
+	case r := <-c1.Results():
+		if r.Grads[0] != 14 {
+			t.Fatalf("sum = %d, want 14", r.Grads[0])
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no result")
+	}
+	if s.Stats().Duplicates != 1 {
+		t.Fatalf("stats = %+v", s.Stats())
+	}
+}
+
+func TestGenerationRestartOnHost(t *testing.T) {
+	const workers = 2
+	s := newTestServer(t, workers, 0)
+	c0 := newTestClient(t, s, 0)
+	c1 := newTestClient(t, s, 1)
+	// Gen 1 partially aggregates block 0; gen 2 then reuses block 0.
+	c0.SendBlock(0, 1, []int32{100}, false)
+	time.Sleep(50 * time.Millisecond)
+	c0.SendBlock(0, 2, []int32{1}, false)
+	time.Sleep(20 * time.Millisecond)
+	c1.SendBlock(0, 2, []int32{2}, false)
+	select {
+	case r := <-c0.Results():
+		if r.GenID != 2 || r.Grads[0] != 3 {
+			t.Fatalf("result = %+v, want gen 2 sum 3 (no gen-1 leak)", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no result")
+	}
+	// A gen-1 packet arriving while a gen-2 record is open is stale.
+	c0.SendBlock(1, 2, []int32{5}, false)
+	time.Sleep(50 * time.Millisecond)
+	c1.SendBlock(1, 1, []int32{100}, false)
+	time.Sleep(100 * time.Millisecond)
+	if s.Stats().StaleDrops == 0 {
+		t.Fatalf("stats = %+v, want a stale drop", s.Stats())
+	}
+}
+
+func TestBadPacketsCounted(t *testing.T) {
+	s := newTestServer(t, 2, 0)
+	c := newTestClient(t, s, 0)
+	if _, err := c.conn.Write([]byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if s.Stats().BadPackets != 1 {
+		t.Fatalf("stats = %+v", s.Stats())
+	}
+}
+
+func TestServerValidatesConfig(t *testing.T) {
+	if _, err := NewServer(ServerConfig{ListenAddr: "127.0.0.1:0", NumWorkers: 0}); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	if _, err := NewServer(ServerConfig{ListenAddr: "127.0.0.1:0", NumWorkers: 65}); err == nil {
+		t.Fatal("65 workers accepted (mask is 64-bit)")
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	s := newTestServer(t, 2, 50*time.Millisecond)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSimulatorFrameReplaysOnSocket demonstrates the wire-format claim: a
+// frame built for the simulated data path replays against the host
+// aggregator by stripping its Ethernet/IPv4/UDP headers.
+func TestSimulatorFrameReplaysOnSocket(t *testing.T) {
+	s := newTestServer(t, 2, 0)
+	c0 := newTestClient(t, s, 0)
+	c1 := newTestClient(t, s, 1)
+
+	// Worker 1's contribution is a simulator frame.
+	simFrame := packet.BuildTrioML(packet.UDPSpec{
+		SrcIP: [4]byte{10, 0, 0, 2}, DstIP: [4]byte{10, 0, 0, 100}, SrcPort: 5000,
+	}, packet.TrioML{JobID: 1, BlockID: 4, SrcID: 1, GenID: 3}, []int32{100, -7})
+	f, err := packet.Decode(simFrame)
+	if err != nil || !f.IsTrioML() {
+		t.Fatalf("decode: %v", err)
+	}
+	udpPayload := simFrame[packet.EthernetLen+f.IP.HeaderLen()+packet.UDPLen:]
+
+	if err := c0.SendBlock(4, 3, []int32{1, 2}, false); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if _, err := c1.conn.Write(udpPayload); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-c0.Results():
+		if r.BlockID != 4 || r.GenID != 3 {
+			t.Fatalf("result = %+v", r)
+		}
+		if r.Grads[0] != 101 || r.Grads[1] != -5 {
+			t.Fatalf("sums = %v", r.Grads)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no result from replayed simulator frame")
+	}
+}
+
+func TestJobsIsolatedOnHostServer(t *testing.T) {
+	// Two jobs share one server; each job's results reach only its own
+	// workers, and sums do not mix.
+	s := newTestServer(t, 2, 0)
+	j1w0, _ := NewClient(ClientConfig{ServerAddr: s.Addr().String(), JobID: 1, SrcID: 0})
+	defer j1w0.Close()
+	j1w1, _ := NewClient(ClientConfig{ServerAddr: s.Addr().String(), JobID: 1, SrcID: 1})
+	defer j1w1.Close()
+	j2w0, _ := NewClient(ClientConfig{ServerAddr: s.Addr().String(), JobID: 2, SrcID: 0})
+	defer j2w0.Close()
+	j2w1, _ := NewClient(ClientConfig{ServerAddr: s.Addr().String(), JobID: 2, SrcID: 1})
+	defer j2w1.Close()
+
+	j1w0.SendBlock(0, 1, []int32{1}, false)
+	j2w0.SendBlock(0, 1, []int32{100}, false)
+	time.Sleep(50 * time.Millisecond)
+	j1w1.SendBlock(0, 1, []int32{2}, false)
+	j2w1.SendBlock(0, 1, []int32{200}, false)
+
+	select {
+	case r := <-j1w0.Results():
+		if r.Grads[0] != 3 {
+			t.Fatalf("job 1 sum = %d, want 3", r.Grads[0])
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("job 1 result missing")
+	}
+	select {
+	case r := <-j2w1.Results():
+		if r.Grads[0] != 300 {
+			t.Fatalf("job 2 sum = %d, want 300", r.Grads[0])
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("job 2 result missing")
+	}
+	// Cross-delivery check: job 1's worker must not also hold a job 2
+	// result (client filters by job id on Unmarshal? it does not — verify
+	// none arrived at the socket level by draining briefly).
+	select {
+	case r := <-j1w0.Results():
+		t.Fatalf("unexpected extra result at job 1 worker: %+v", r)
+	case <-time.After(200 * time.Millisecond):
+	}
+}

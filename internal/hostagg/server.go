@@ -1,0 +1,311 @@
+// Package hostagg is the host-side realization of Trio-ML: the same
+// aggregation protocol (trio_ml_hdr_t over UDP, Fig. 7/8) served by a real
+// net.UDPConn instead of simulated PFE hardware. It exists because the
+// paper's data plane requires Juniper silicon; the host aggregator exercises
+// the protocol logic — block records, source bitmaps, generation handling,
+// straggler timeouts with partial results — on a stack anyone can run,
+// including the vMX-style x86 deployment path the paper describes (§3.1).
+//
+// The wire format is the UDP payload produced by packet.TrioML followed by
+// big-endian int32 gradients; a frame built for the simulator can be
+// replayed here by stripping its Ethernet/IPv4/UDP headers.
+package hostagg
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/trioml/triogo/internal/packet"
+)
+
+// ServerConfig parameterizes an aggregation server.
+type ServerConfig struct {
+	// ListenAddr is the UDP address to bind, e.g. ":12000".
+	ListenAddr string
+	// NumWorkers is the number of sources per job; src_ids are 0..N-1.
+	NumWorkers int
+	// Timeout ages out blocks missing contributions (straggler mitigation).
+	// Zero disables aging (SwitchML-like semantics).
+	Timeout time.Duration
+	// ScanInterval is how often the aging scanner sweeps; defaults to
+	// Timeout/4 (the host-side analogue of N staggered timer threads).
+	ScanInterval time.Duration
+	// Logger receives operational messages; nil uses slog.Default.
+	Logger *slog.Logger
+}
+
+type blockState struct {
+	sums     []int32
+	rcvdMask uint64
+	rcvdCnt  int
+	genID    uint16
+	jobID    uint8
+	final    bool
+	lastRef  time.Time
+	refFlag  bool // cleared by the scanner, set by packets (REF semantics)
+}
+
+// Server aggregates gradient blocks arriving over UDP and multicasts (by
+// iterated unicast — host networks rarely have multicast set up) results to
+// every registered worker.
+type Server struct {
+	cfg  ServerConfig
+	conn *net.UDPConn
+	log  *slog.Logger
+
+	mu      sync.Mutex
+	blocks  map[uint64]*blockState  // Key(job, block)
+	workers map[uint16]*net.UDPAddr // job<<8|src_id -> return address
+	stats   ServerStats
+
+	closed  chan struct{}
+	stopped sync.WaitGroup
+}
+
+// ServerStats counts server activity (snapshot via Stats).
+type ServerStats struct {
+	Packets    uint64
+	Duplicates uint64
+	StaleDrops uint64
+	Completed  uint64
+	Degraded   uint64
+	BadPackets uint64
+}
+
+// key packs (job, block) like the data-plane hash key.
+func key(job uint8, block uint32) uint64 { return uint64(job)<<32 | uint64(block) }
+
+// NewServer binds the socket and starts the receive and scan loops.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.NumWorkers <= 0 || cfg.NumWorkers > 64 {
+		return nil, fmt.Errorf("hostagg: workers must be 1..64, got %d", cfg.NumWorkers)
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	if cfg.ScanInterval == 0 && cfg.Timeout > 0 {
+		cfg.ScanInterval = cfg.Timeout / 4
+	}
+	addr, err := net.ResolveUDPAddr("udp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("hostagg: resolve %q: %w", cfg.ListenAddr, err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("hostagg: listen: %w", err)
+	}
+	s := &Server{
+		cfg: cfg, conn: conn, log: cfg.Logger,
+		blocks:  make(map[uint64]*blockState),
+		workers: make(map[uint16]*net.UDPAddr),
+		closed:  make(chan struct{}),
+	}
+	s.stopped.Add(1)
+	go s.recvLoop()
+	if cfg.Timeout > 0 {
+		s.stopped.Add(1)
+		go s.scanLoop()
+	}
+	return s, nil
+}
+
+// Addr reports the bound UDP address.
+func (s *Server) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Close stops the loops and releases the socket.
+func (s *Server) Close() error {
+	select {
+	case <-s.closed:
+		return nil
+	default:
+	}
+	close(s.closed)
+	err := s.conn.Close()
+	s.stopped.Wait()
+	return err
+}
+
+func (s *Server) recvLoop() {
+	defer s.stopped.Done()
+	buf := make([]byte, 65536)
+	for {
+		n, from, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.log.Warn("hostagg: read", "err", err)
+			continue
+		}
+		s.handle(buf[:n], from)
+	}
+}
+
+func (s *Server) handle(payload []byte, from *net.UDPAddr) {
+	var h packet.TrioML
+	rest, err := h.Unmarshal(payload)
+	if err != nil {
+		s.bump(func(st *ServerStats) { st.BadPackets++ })
+		return
+	}
+	grads, err := packet.Gradients(rest, int(h.GradCnt))
+	if err != nil || int(h.SrcID) >= s.cfg.NumWorkers {
+		s.bump(func(st *ServerStats) { st.BadPackets++ })
+		return
+	}
+
+	s.mu.Lock()
+	s.stats.Packets++
+	s.workers[uint16(h.JobID)<<8|uint16(h.SrcID)] = from
+	k := key(h.JobID, h.BlockID)
+	b := s.blocks[k]
+	switch {
+	case b == nil:
+		b = &blockState{
+			sums: append([]int32(nil), grads...), genID: h.GenID,
+			jobID: h.JobID, final: h.Final,
+		}
+		s.blocks[k] = b
+	case h.GenID != b.genID && int16(h.GenID-b.genID) < 0:
+		s.stats.StaleDrops++
+		s.mu.Unlock()
+		return
+	case h.GenID != b.genID:
+		// Newer generation reuses the block id: restart in place.
+		b.genID = h.GenID
+		b.rcvdMask, b.rcvdCnt = 0, 0
+		copy(b.sums, grads)
+		for i := len(grads); i < len(b.sums); i++ {
+			b.sums[i] = 0
+		}
+	case b.rcvdMask&(1<<h.SrcID) != 0:
+		s.stats.Duplicates++
+		s.mu.Unlock()
+		return
+	default:
+		for i, g := range grads {
+			if i < len(b.sums) {
+				b.sums[i] += g
+			}
+		}
+	}
+	b.rcvdMask |= 1 << h.SrcID
+	b.rcvdCnt++
+	b.lastRef = time.Now()
+	b.refFlag = true
+
+	var done *blockState
+	if b.rcvdCnt >= s.cfg.NumWorkers {
+		done = b
+		delete(s.blocks, k)
+		s.stats.Completed++
+	}
+	targets := s.targets(h.JobID)
+	s.mu.Unlock()
+
+	if done != nil {
+		s.emit(h.JobID, h.BlockID, done, false, targets)
+	}
+}
+
+func (s *Server) bump(f func(*ServerStats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}
+
+// targets lists the return addresses of a job's registered workers.
+func (s *Server) targets(job uint8) []*net.UDPAddr {
+	out := make([]*net.UDPAddr, 0, len(s.workers))
+	for k, a := range s.workers {
+		if uint8(k>>8) == job {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// scanLoop is the host analogue of §5's timer threads: it periodically
+// visits block records, clearing REF flags and emitting partial results for
+// records that were not referenced for a full timeout.
+func (s *Server) scanLoop() {
+	defer s.stopped.Done()
+	ticker := time.NewTicker(s.cfg.ScanInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-ticker.C:
+		}
+		type agedBlock struct {
+			job   uint8
+			block uint32
+			b     *blockState
+		}
+		var aged []agedBlock
+		s.mu.Lock()
+		now := time.Now()
+		for k, b := range s.blocks {
+			if b.refFlag {
+				b.refFlag = false
+				continue
+			}
+			if now.Sub(b.lastRef) >= s.cfg.Timeout && b.rcvdCnt > 0 {
+				aged = append(aged, agedBlock{uint8(k >> 32), uint32(k), b})
+				delete(s.blocks, k)
+				s.stats.Degraded++
+			}
+		}
+		s.mu.Unlock()
+		for _, a := range aged {
+			s.mu.Lock()
+			targets := s.targets(a.job)
+			s.mu.Unlock()
+			s.emit(a.job, a.block, a.b, true, targets)
+		}
+	}
+}
+
+// emit sends a Result packet to every known worker.
+func (s *Server) emit(job uint8, block uint32, b *blockState, degraded bool, targets []*net.UDPAddr) {
+	hdr := packet.TrioML{
+		JobID: job, BlockID: block, GenID: b.genID,
+		SrcID: 0xFF, SrcCnt: uint8(b.rcvdCnt), GradCnt: uint16(len(b.sums)),
+		Degraded: degraded, Final: b.final,
+	}
+	if degraded {
+		hdr.AgeOp = 1
+	}
+	payload := make([]byte, packet.TrioMLHeaderLen+4*len(b.sums))
+	hdr.MarshalTo(payload)
+	packet.PutGradients(payload[packet.TrioMLHeaderLen:], b.sums)
+	for _, t := range targets {
+		if _, err := s.conn.WriteToUDP(payload, t); err != nil {
+			s.log.Warn("hostagg: send result", "to", t, "err", err)
+		}
+	}
+}
+
+// Pending reports the number of open (partially aggregated) blocks.
+func (s *Server) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.blocks)
+}

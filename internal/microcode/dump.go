@@ -1,0 +1,99 @@
+package microcode
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file renders programs back to a readable listing — the assembler's
+// inverse, used by cmd/mcasm and in debugging. The output is diagnostic
+// syntax, not re-assemblable source (labels and resource packing are shown
+// per micro-instruction, the way a hardware listing would).
+
+func (o Operand) String() string {
+	switch o.Kind {
+	case Imm:
+		if o.Val > 9 {
+			return fmt.Sprintf("%#x", o.Val)
+		}
+		return fmt.Sprintf("%d", o.Val)
+	case Reg:
+		if o.Width == 0 {
+			return fmt.Sprintf("r%d", o.Reg)
+		}
+		return fmt.Sprintf("r%d[%d:%d]", o.Reg, o.Off, o.Width)
+	case LMem:
+		return fmt.Sprintf("lmem[%d.%d:%d]", o.Off/8, o.Off%8, o.Width)
+	case LMemPtr:
+		if o.Off == 0 {
+			return fmt.Sprintf("lmem[r%d:%d]", o.Reg, o.Width)
+		}
+		return fmt.Sprintf("lmem[r%d+%d:%d]", o.Reg, o.Off/8, o.Width)
+	}
+	return "?"
+}
+
+func (a Action) String() string {
+	switch a.Kind {
+	case ActGoto:
+		return "goto " + a.Target
+	case ActCall:
+		return "call " + a.Target
+	case ActReturn:
+		return "return"
+	case ActExit:
+		return "exit(" + a.Verdict.String() + ")"
+	case ActFallthrough:
+		return "fallthrough"
+	}
+	return "?"
+}
+
+func (x XTXN) String() string {
+	name := map[XTXNKind]string{
+		XTXNMemRead: "mem_read", XTXNMemWrite: "mem_write",
+		XTXNCounterInc: "counter_inc", XTXNReadTail: "tail_read",
+		XTXNWriteTail: "tail_write", XTXNHashLookup: "hash_lookup",
+		XTXNHashInsert: "hash_insert", XTXNHashDelete: "hash_delete",
+	}[x.Kind]
+	var args []string
+	args = append(args, x.Addr.String())
+	switch x.Kind {
+	case XTXNCounterInc, XTXNHashInsert:
+		args = append(args, x.Len.String())
+	case XTXNMemRead, XTXNMemWrite, XTXNReadTail, XTXNWriteTail:
+		args = append(args, fmt.Sprint(x.Size), fmt.Sprint(x.LMemOff))
+	}
+	prefix := ""
+	if x.Async {
+		prefix = "async "
+	}
+	return fmt.Sprintf("%s%s(%s)", prefix, name, strings.Join(args, ", "))
+}
+
+// Dump renders the program as an annotated listing.
+func (p *Program) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s  (%d instructions)\n", p.Name, len(p.Instrs))
+	for i, in := range p.Instrs {
+		fmt.Fprintf(&b, "%3d %s:\n", i, in.Label)
+		for _, c := range in.Conds {
+			fmt.Fprintf(&b, "      cond%d: %s %s %s\n", c.Idx, c.A, c.Cmp, c.B)
+		}
+		for _, m := range in.Moves {
+			if m.Fn == Pass {
+				fmt.Fprintf(&b, "      move : %s <- %s\n", m.Dst, m.A)
+			} else {
+				fmt.Fprintf(&b, "      move : %s <- %s(%s, %s)\n", m.Dst, m.Fn, m.A, m.B)
+			}
+		}
+		for _, x := range in.XTXNs {
+			fmt.Fprintf(&b, "      xtxn : %s\n", x)
+		}
+		for _, bc := range in.Br.Cases {
+			fmt.Fprintf(&b, "      br   : conds&%#b == %#b -> %s\n", bc.Mask, bc.Want, bc.Act)
+		}
+		fmt.Fprintf(&b, "      br   : default -> %s\n", in.Br.Default)
+	}
+	return b.String()
+}

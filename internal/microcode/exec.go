@@ -1,0 +1,356 @@
+package microcode
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/trioml/triogo/internal/bitfield"
+	"github.com/trioml/triogo/internal/sim"
+)
+
+// Env is the set of XTXN targets a thread can reach over the crossbar:
+// shared memory, the counter block, the hash engine, and the packet-tail
+// path of the Memory and Queueing Subsystem. internal/trio/ppe provides the
+// production implementation; tests can stub it.
+type Env interface {
+	MemRead(now sim.Time, addr uint64, size int) ([]byte, sim.Time)
+	MemWrite(now sim.Time, addr uint64, data []byte) sim.Time
+	CounterInc(now sim.Time, addr uint64, pktLen uint32) sim.Time
+	ReadTail(now sim.Time, off, size int) ([]byte, sim.Time)
+	WriteTail(now sim.Time, off int, data []byte) sim.Time
+	HashLookup(now sim.Time, key uint64) (val uint64, ok bool, done sim.Time)
+	HashInsert(now sim.Time, key, val uint64) (ok bool, done sim.Time)
+	HashDelete(now sim.Time, key uint64) (ok bool, done sim.Time)
+}
+
+// Timing parameterizes instruction cost. The defaults model "each
+// instruction takes multiple clock cycles" (§2.2) at the 1 GHz clock of
+// §6.3.
+type Timing struct {
+	CycleTime      sim.Time // default 1 ns
+	CyclesPerInstr int      // default 2
+}
+
+// DefaultTiming returns the paper's operating point.
+func DefaultTiming() Timing { return Timing{CycleTime: sim.Nanosecond, CyclesPerInstr: 2} }
+
+// Stats counts a thread's dynamic behaviour. The §6.3 analysis
+// ("≈1.2 run-time instructions per gradient") is reproduced from these
+// counters.
+type Stats struct {
+	Instructions uint64
+	XTXNs        uint64
+	SyncStall    sim.Time // time spent suspended on synchronous XTXN replies
+}
+
+// Thread is one PPE thread: 1.25 KB of local memory, 32 general-purpose
+// registers, and a call stack up to eight deep (§2.2). A thread is created
+// per packet head (or per timer firing) and destroyed on exit.
+type Thread struct {
+	LMem  [LMemBytes]byte
+	Regs  [NumRegs]uint64
+	Env   Env
+	Now   sim.Time
+	Stats Stats
+
+	conds uint8
+	stack []int
+}
+
+// NewThread returns a thread bound to env with its clock at start.
+func NewThread(env Env, start sim.Time) *Thread {
+	return &Thread{Env: env, Now: start}
+}
+
+// LoadHead copies a packet head into the bottom of local memory, as the
+// dispatch hardware does before the thread starts (§2.2).
+func (t *Thread) LoadHead(head []byte) {
+	if len(head) > LMemBytes {
+		panic(fmt.Sprintf("microcode: %d-byte head exceeds %d-byte local memory", len(head), LMemBytes))
+	}
+	copy(t.LMem[:], head)
+}
+
+// threadFault is a run-time execution fault (e.g. a pointer-register access
+// outside local memory); RunLimited converts it into an error.
+type threadFault struct{ msg string }
+
+// ErrFault tags run-time thread faults.
+var ErrFault = errors.New("microcode: thread fault")
+
+// ptrBitOff resolves a pointer-register operand to an absolute LMEM bit
+// offset, faulting when the window leaves local memory.
+func (t *Thread) ptrBitOff(o Operand) uint {
+	byteAddr := t.Regs[o.Reg] + uint64(o.Off/8)
+	end := byteAddr + uint64((o.Width+7)/8)
+	if end > LMemBytes {
+		panic(threadFault{fmt.Sprintf("pointer access r%d -> [%d,%d) outside %d-byte local memory", o.Reg, byteAddr, end, LMemBytes)})
+	}
+	return uint(byteAddr) * 8
+}
+
+// read evaluates an operand against the thread's current state.
+func (t *Thread) read(o Operand) uint64 {
+	switch o.Kind {
+	case Imm:
+		return o.Val
+	case Reg:
+		v := t.Regs[o.Reg]
+		if o.Width == 0 {
+			return v
+		}
+		return v >> o.Off & (^uint64(0) >> (64 - o.Width))
+	case LMem:
+		return bitfield.Get(t.LMem[:], o.Off, o.Width)
+	case LMemPtr:
+		return bitfield.Get(t.LMem[:], t.ptrBitOff(o), o.Width)
+	}
+	panic("microcode: bad operand kind")
+}
+
+// write stores a Move-ALU result into its destination.
+func (t *Thread) write(dst Operand, v uint64) {
+	switch dst.Kind {
+	case Reg:
+		if dst.Width == 0 {
+			t.Regs[dst.Reg] = v
+			return
+		}
+		mask := ^uint64(0) >> (64 - dst.Width) << dst.Off
+		t.Regs[dst.Reg] = t.Regs[dst.Reg]&^mask | v<<dst.Off&mask
+	case LMem:
+		bitfield.Put(t.LMem[:], dst.Off, dst.Width, v)
+	case LMemPtr:
+		bitfield.Put(t.LMem[:], t.ptrBitOff(dst), dst.Width, v)
+	default:
+		panic("microcode: bad move destination")
+	}
+}
+
+func alu(fn ALUFn, a, b uint64) uint64 {
+	switch fn {
+	case Pass:
+		return a
+	case Add:
+		return a + b
+	case Sub:
+		return a - b
+	case And:
+		return a & b
+	case Or:
+		return a | b
+	case Xor:
+		return a ^ b
+	case Shl:
+		return a << (b & 63)
+	case Shr:
+		return a >> (b & 63)
+	case Mul:
+		return a * b
+	}
+	panic("microcode: bad ALU function")
+}
+
+func compare(fn CmpFn, a, b uint64) bool {
+	switch fn {
+	case Eq:
+		return a == b
+	case Ne:
+		return a != b
+	case Lt:
+		return a < b
+	case Le:
+		return a <= b
+	case Gt:
+		return a > b
+	case Ge:
+		return a >= b
+	}
+	panic("microcode: bad comparison")
+}
+
+// Execution errors.
+var (
+	ErrBudget    = errors.New("microcode: instruction budget exceeded")
+	ErrCallDepth = errors.New("microcode: call stack overflow")
+	ErrRetEmpty  = errors.New("microcode: return with empty call stack")
+	ErrFellOff   = errors.New("microcode: fell off the end of the program")
+)
+
+// DefaultBudget bounds runaway programs in tests and the simulator. Trio
+// itself imposes no limit ("no fixed limit on the number ... of
+// instructions", §8); this is a safety net, not an architectural bound.
+const DefaultBudget = 1 << 20
+
+// Run executes the program from the entry label until the thread exits,
+// using default timing and budget.
+func Run(p *Program, t *Thread, entry string) (Verdict, error) {
+	return RunLimited(p, t, entry, DefaultTiming(), DefaultBudget)
+}
+
+// RunLimited executes with explicit timing and an instruction budget.
+// Run-time faults (pointer accesses outside local memory) terminate the
+// thread with an error wrapping ErrFault, as the hardware would kill a
+// misbehaving thread.
+func RunLimited(p *Program, t *Thread, entry string, timing Timing, budget uint64) (v Verdict, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if f, ok := r.(threadFault); ok {
+				v, err = VerdictNone, fmt.Errorf("%w: %s", ErrFault, f.msg)
+				return
+			}
+			panic(r)
+		}
+	}()
+	return runLimited(p, t, entry, timing, budget)
+}
+
+func runLimited(p *Program, t *Thread, entry string, timing Timing, budget uint64) (Verdict, error) {
+	if timing.CycleTime == 0 {
+		timing.CycleTime = sim.Nanosecond
+	}
+	if timing.CyclesPerInstr == 0 {
+		timing.CyclesPerInstr = 2
+	}
+	pc, ok := p.Lookup(entry)
+	if !ok {
+		return VerdictNone, fmt.Errorf("microcode: entry label %q not found", entry)
+	}
+	instrTime := sim.Time(timing.CyclesPerInstr) * timing.CycleTime
+	for n := uint64(0); ; n++ {
+		if n >= budget {
+			return VerdictNone, fmt.Errorf("%w at %q", ErrBudget, p.Instrs[pc].Label)
+		}
+		in := &p.Instrs[pc]
+		t.Stats.Instructions++
+
+		// Phase 1: Condition ALUs, reading pre-instruction state.
+		t.conds = 0
+		for _, c := range in.Conds {
+			if compare(c.Cmp, t.read(c.A), t.read(c.B)) {
+				t.conds |= 1 << c.Idx
+			}
+		}
+
+		// Phase 2: Move ALUs. Within one VLIW instruction the ALUs cascade
+		// through operand/result selection (§2.2: "the results from the
+		// Condition ALUs can be used as inputs to the Move ALUs"), so each
+		// Move observes the results of earlier Moves in the same bundle.
+		// No state forwards *between* instructions before writeback.
+		for _, m := range in.Moves {
+			var b uint64
+			if m.Fn != Pass {
+				b = t.read(m.B)
+			}
+			v := alu(m.Fn, t.read(m.A), b)
+			if m.Dst.Width != 0 && m.Dst.Width < 64 {
+				v &= ^uint64(0) >> (64 - m.Dst.Width)
+			}
+			t.write(m.Dst, v)
+		}
+
+		// Phase 3: the external transaction, if any.
+		for i := range in.XTXNs {
+			if err := t.issueXTXN(&in.XTXNs[i]); err != nil {
+				return VerdictNone, fmt.Errorf("microcode: %q: %w", in.Label, err)
+			}
+		}
+
+		// Charge the instruction's execution time.
+		t.Now += instrTime
+
+		// Phase 4: sequencing.
+		act := in.Br.Default
+		for _, bc := range in.Br.Cases {
+			if t.conds&bc.Mask == bc.Want {
+				act = bc.Act
+				break
+			}
+		}
+		switch act.Kind {
+		case ActGoto:
+			pc, _ = p.Lookup(act.Target)
+		case ActCall:
+			if len(t.stack) >= MaxCallDepth {
+				return VerdictNone, fmt.Errorf("%w at %q", ErrCallDepth, in.Label)
+			}
+			t.stack = append(t.stack, pc+1)
+			pc, _ = p.Lookup(act.Target)
+		case ActReturn:
+			if len(t.stack) == 0 {
+				return VerdictNone, fmt.Errorf("%w at %q", ErrRetEmpty, in.Label)
+			}
+			pc = t.stack[len(t.stack)-1]
+			t.stack = t.stack[:len(t.stack)-1]
+			if pc >= len(p.Instrs) {
+				return VerdictNone, fmt.Errorf("%w (return past end)", ErrFellOff)
+			}
+		case ActExit:
+			return act.Verdict, nil
+		case ActFallthrough:
+			pc++
+			if pc >= len(p.Instrs) {
+				return VerdictNone, ErrFellOff
+			}
+		}
+	}
+}
+
+func (t *Thread) issueXTXN(x *XTXN) error {
+	if t.Env == nil {
+		return errors.New("XTXN issued with no environment")
+	}
+	t.Stats.XTXNs++
+	issue := t.Now
+	var done sim.Time
+	switch x.Kind {
+	case XTXNMemRead:
+		data, d := t.Env.MemRead(issue, t.read(x.Addr), x.Size)
+		copy(t.LMem[x.LMemOff:], data)
+		done = d
+	case XTXNMemWrite:
+		done = t.Env.MemWrite(issue, t.read(x.Addr), t.LMem[x.LMemOff:int(x.LMemOff)+x.Size])
+	case XTXNCounterInc:
+		done = t.Env.CounterInc(issue, t.read(x.Addr), uint32(t.read(x.Len)))
+	case XTXNReadTail:
+		data, d := t.Env.ReadTail(issue, int(t.read(x.Addr)), x.Size)
+		copy(t.LMem[x.LMemOff:], data)
+		done = d
+	case XTXNWriteTail:
+		done = t.Env.WriteTail(issue, int(t.read(x.Addr)), t.LMem[x.LMemOff:int(x.LMemOff)+x.Size])
+	case XTXNHashLookup:
+		val, ok, d := t.Env.HashLookup(issue, t.read(x.Addr))
+		t.Regs[XTXNReplyReg] = val
+		if ok {
+			t.conds |= 1 << XTXNHitCond
+		} else {
+			t.conds &^= 1 << XTXNHitCond
+		}
+		done = d
+	case XTXNHashInsert:
+		ok, d := t.Env.HashInsert(issue, t.read(x.Addr), t.read(x.Len))
+		if ok {
+			t.conds |= 1 << XTXNHitCond
+		} else {
+			t.conds &^= 1 << XTXNHitCond
+		}
+		done = d
+	case XTXNHashDelete:
+		ok, d := t.Env.HashDelete(issue, t.read(x.Addr))
+		if ok {
+			t.conds |= 1 << XTXNHitCond
+		} else {
+			t.conds &^= 1 << XTXNHitCond
+		}
+		done = d
+	default:
+		return fmt.Errorf("unknown XTXN kind %d", x.Kind)
+	}
+	// Synchronous XTXNs suspend the thread until the reply arrives;
+	// asynchronous ones continue immediately (§3.1).
+	if !x.Async && done > t.Now {
+		t.Stats.SyncStall += done - t.Now
+		t.Now = done
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package microcode
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// The assembler's lexical grammar. The surface language follows the §3.2
+// listings: C-style comments, struct declarations with bit widths,
+// label/begin/end instruction delineation, and C-style expressions.
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // single- or multi-character operator/punctuation
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  uint64
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokNumber:
+		return fmt.Sprintf("number %d", t.num)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+var multiCharPuncts = []string{"==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "->"}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.peek(1) == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.peek(1) == '*':
+			if err := l.blockComment(); err != nil {
+				return nil, err
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			l.ident()
+		case unicode.IsDigit(rune(c)):
+			if err := l.number(); err != nil {
+				return nil, err
+			}
+		default:
+			l.punct()
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, line: l.line})
+	return l.toks, nil
+}
+
+func (l *lexer) peek(ahead int) byte {
+	if l.pos+ahead < len(l.src) {
+		return l.src[l.pos+ahead]
+	}
+	return 0
+}
+
+func (l *lexer) blockComment() error {
+	start := l.line
+	l.pos += 2
+	for l.pos < len(l.src) {
+		if l.src[l.pos] == '\n' {
+			l.line++
+		}
+		if l.src[l.pos] == '*' && l.peek(1) == '/' {
+			l.pos += 2
+			return nil
+		}
+		l.pos++
+	}
+	return fmt.Errorf("line %d: unterminated block comment", start)
+}
+
+func (l *lexer) ident() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		if !unicode.IsLetter(c) && !unicode.IsDigit(c) && c != '_' {
+			break
+		}
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], line: l.line})
+}
+
+func (l *lexer) number() error {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		if !unicode.IsLetter(c) && !unicode.IsDigit(c) && c != '_' {
+			break
+		}
+		l.pos++
+	}
+	text := strings.ReplaceAll(l.src[start:l.pos], "_", "")
+	v, err := strconv.ParseUint(text, 0, 64)
+	if err != nil {
+		return fmt.Errorf("line %d: bad number %q", l.line, l.src[start:l.pos])
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: text, num: v, line: l.line})
+	return nil
+}
+
+func (l *lexer) punct() {
+	for _, p := range multiCharPuncts {
+		if strings.HasPrefix(l.src[l.pos:], p) {
+			l.toks = append(l.toks, token{kind: tokPunct, text: p, line: l.line})
+			l.pos += len(p)
+			return
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokPunct, text: l.src[l.pos : l.pos+1], line: l.line})
+	l.pos++
+}

@@ -1,0 +1,212 @@
+package mltrain
+
+import (
+	"testing"
+
+	"github.com/trioml/triogo/internal/packet"
+	"github.com/trioml/triogo/internal/sim"
+)
+
+// workerHarness drives a Worker directly, playing the role of the
+// aggregation device: it records sent frames and lets tests inject results.
+type workerHarness struct {
+	eng    *sim.Engine
+	w      *Worker
+	sent   []packet.TrioML
+	frames [][]byte
+	done   []int // iterations reported complete
+}
+
+func newWorkerHarness(t *testing.T, params WorkerParams, p float64) *workerHarness {
+	t.Helper()
+	h := &workerHarness{eng: sim.NewEngine()}
+	var injector *Injector
+	if p > 0 {
+		injector = NewInjectorPattern(p, 2, 100*sim.Millisecond, 5, SingleVictim)
+	}
+	h.w = newWorker(h.eng, 0, 0, 2, params, injector,
+		func(frame []byte) {
+			f, err := packet.Decode(frame)
+			if err != nil || !f.IsTrioML() {
+				t.Fatalf("worker sent bad frame: %v", err)
+			}
+			h.sent = append(h.sent, *f.ML)
+			h.frames = append(h.frames, frame)
+		},
+		func(_ *Worker, iter int, _ sim.Time, _ float64) { h.done = append(h.done, iter) })
+	return h
+}
+
+// result injects an aggregation result for (iter, block).
+func (h *workerHarness) result(iter, block int, srcCnt uint8, blocks int) {
+	hdr := packet.TrioML{
+		JobID: 1, BlockID: uint32(iter*blocks + block), SrcID: 0xFF,
+		GenID: uint16(iter + 1), SrcCnt: srcCnt, GradCnt: 4,
+	}
+	frame := packet.BuildTrioML(packet.UDPSpec{SrcPort: 1}, hdr, make([]int32, 4))
+	h.w.OnFrame(frame, h.eng.Now())
+}
+
+func baseParams() WorkerParams {
+	return WorkerParams{
+		JobID: 1, Blocks: 4, GradsPerPacket: 4, Window: 2,
+		ComputeTime: 10 * sim.Millisecond,
+	}
+}
+
+func TestWorkerWindowLimitsOutstanding(t *testing.T) {
+	h := newWorkerHarness(t, baseParams(), 0)
+	h.w.Start(1)
+	h.eng.Run()
+	// Compute done at 10 ms, then only Window=2 blocks outstanding.
+	if len(h.sent) != 2 {
+		t.Fatalf("sent = %d, want window of 2", len(h.sent))
+	}
+	h.result(0, 0, 2, 4)
+	if len(h.sent) != 3 {
+		t.Fatalf("sent = %d after first result", len(h.sent))
+	}
+	h.result(0, 1, 2, 4)
+	h.result(0, 2, 2, 4)
+	h.result(0, 3, 2, 4)
+	if len(h.done) != 1 || h.done[0] != 0 {
+		t.Fatalf("done = %v", h.done)
+	}
+}
+
+func TestWorkerBlockIDsEncodeIteration(t *testing.T) {
+	h := newWorkerHarness(t, baseParams(), 0)
+	h.w.Start(2)
+	h.eng.Run()
+	for b := 0; b < 4; b++ {
+		h.result(0, b, 2, 4)
+	}
+	h.eng.Run() // compute for iteration 1
+	if len(h.sent) < 5 {
+		t.Fatalf("sent = %d", len(h.sent))
+	}
+	first := h.sent[0]
+	if first.BlockID != 0 || first.GenID != 1 || !h.sent[3].Final == (h.sent[3].BlockID%4 == 3) {
+		t.Fatalf("hdr = %+v", first)
+	}
+	iter1 := h.sent[4]
+	if iter1.BlockID != 4 || iter1.GenID != 2 {
+		t.Fatalf("iteration 1 first block = %+v", iter1)
+	}
+}
+
+func TestWorkerSkipsBlocksAlreadyAnswered(t *testing.T) {
+	// Results for blocks 2 and 3 arrive while the worker is still
+	// computing; it must not send them.
+	h := newWorkerHarness(t, baseParams(), 0)
+	h.w.Start(1)
+	h.eng.RunUntil(5 * sim.Millisecond) // mid-compute
+	h.result(0, 2, 1, 4)
+	h.result(0, 3, 1, 4)
+	h.eng.Run() // comm starts: window holds blocks 0 and 1
+	h.result(0, 0, 2, 4)
+	h.result(0, 1, 2, 4) // pump now reaches blocks 2 and 3 — both answered
+	for _, s := range h.sent {
+		if s.BlockID == 2 || s.BlockID == 3 {
+			t.Fatalf("worker sent already-answered block %d", s.BlockID)
+		}
+	}
+	if h.w.BlocksSkipped != 2 {
+		t.Fatalf("skipped = %d", h.w.BlocksSkipped)
+	}
+	if len(h.done) != 1 {
+		t.Fatalf("done = %v", h.done)
+	}
+}
+
+func TestWorkerFastForwardsPastCompletedIterations(t *testing.T) {
+	// While the worker computes iteration 0, the cluster finishes
+	// iterations 0 AND 1 (degraded). On waking it must skip both and start
+	// iteration 2.
+	h := newWorkerHarness(t, baseParams(), 0)
+	h.w.Start(3)
+	h.eng.RunUntil(5 * sim.Millisecond)
+	for b := 0; b < 4; b++ {
+		h.result(0, b, 1, 4)
+		h.result(1, b, 1, 4)
+	}
+	h.eng.Run() // wake at 10 ms, fast-forward, compute iter 2, send
+	if len(h.done) != 2 {
+		t.Fatalf("done = %v", h.done)
+	}
+	// Everything sent belongs to iteration 2 (gen 3).
+	for _, s := range h.sent {
+		if s.GenID != 3 {
+			t.Fatalf("sent gen %d after fast-forward", s.GenID)
+		}
+	}
+	if h.w.BlocksSkipped != 8 {
+		t.Fatalf("skipped = %d, want both iterations' blocks", h.w.BlocksSkipped)
+	}
+}
+
+func TestWorkerIgnoresStaleAndAlienResults(t *testing.T) {
+	h := newWorkerHarness(t, baseParams(), 0)
+	h.w.Start(1)
+	h.eng.Run()
+	before := h.w.ResultsRecv
+	// Wrong job.
+	hdr := packet.TrioML{JobID: 9, BlockID: 0, GenID: 1, SrcCnt: 2, GradCnt: 4}
+	h.w.OnFrame(packet.BuildTrioML(packet.UDPSpec{SrcPort: 1}, hdr, make([]int32, 4)), 0)
+	// Gen 0 (invalid).
+	hdr = packet.TrioML{JobID: 1, BlockID: 0, GenID: 0, SrcCnt: 2, GradCnt: 4}
+	h.w.OnFrame(packet.BuildTrioML(packet.UDPSpec{SrcPort: 1}, hdr, make([]int32, 4)), 0)
+	// Block index out of range for its generation.
+	hdr = packet.TrioML{JobID: 1, BlockID: 99, GenID: 1, SrcCnt: 2, GradCnt: 4}
+	h.w.OnFrame(packet.BuildTrioML(packet.UDPSpec{SrcPort: 1}, hdr, make([]int32, 4)), 0)
+	// Duplicate of a real result counts once.
+	h.result(0, 0, 2, 4)
+	h.result(0, 0, 2, 4)
+	if h.w.ResultsRecv != before+1 {
+		t.Fatalf("recv = %d, want exactly one accepted", h.w.ResultsRecv-before)
+	}
+}
+
+func TestWorkerRetransmitStopsAfterResult(t *testing.T) {
+	params := baseParams()
+	params.Window = 4
+	params.RetransmitAfter = 5 * sim.Millisecond
+	h := newWorkerHarness(t, params, 0)
+	h.w.Start(1)
+	h.eng.RunUntil(12 * sim.Millisecond) // comm started at 10 ms
+	if len(h.sent) != 4 {
+		t.Fatalf("sent = %d", len(h.sent))
+	}
+	// No results: retransmissions fire at ~15, 20 ms.
+	h.eng.RunUntil(21 * sim.Millisecond)
+	if h.w.Retransmits < 4 {
+		t.Fatalf("retransmits = %d", h.w.Retransmits)
+	}
+	for b := 0; b < 4; b++ {
+		h.result(0, b, 2, 4)
+	}
+	at := h.w.Retransmits
+	h.eng.RunUntil(100 * sim.Millisecond)
+	if h.w.Retransmits != at {
+		t.Fatalf("retransmissions continued after completion: %d -> %d", at, h.w.Retransmits)
+	}
+}
+
+func TestWorkerGradFractionReported(t *testing.T) {
+	var fracs []float64
+	h := newWorkerHarness(t, baseParams(), 0)
+	h.w.onIterRecv = func(_ *Worker, _ int, _ sim.Time, f float64) { fracs = append(fracs, f) }
+	h.w.Start(1)
+	h.eng.Run()
+	// Two degraded results (1 of 2 sources) and two full ones.
+	h.result(0, 0, 1, 4)
+	h.result(0, 1, 1, 4)
+	h.result(0, 2, 2, 4)
+	h.result(0, 3, 2, 4)
+	if len(fracs) != 1 {
+		t.Fatalf("fracs = %v", fracs)
+	}
+	if fracs[0] != 0.75 { // (0.5+0.5+1+1)/4
+		t.Fatalf("fraction = %v, want 0.75", fracs[0])
+	}
+}

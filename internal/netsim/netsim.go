@@ -1,0 +1,97 @@
+// Package netsim models the cabling of the testbed in §6.1: point-to-point
+// links with configurable bandwidth and propagation delay connecting server
+// NICs to router ports. Links account serialization (bytes × 8 / rate) and
+// queue frames FIFO, which is all the evaluation's shape depends on.
+package netsim
+
+import (
+	"github.com/trioml/triogo/internal/sim"
+)
+
+// LinkConfig parameterizes one unidirectional link.
+type LinkConfig struct {
+	Bandwidth   uint64   // bits per second; default 100 Gbps (ConnectX5/MX ports)
+	Propagation sim.Time // default 500 ns (in-rack fiber + NIC/PHY)
+
+	// LossProb drops each frame independently with this probability after
+	// serialization (the sender spent the bandwidth; the frame never
+	// arrives) — the transient-congestion loss §7 discusses. LossSeed
+	// seeds the deterministic drop stream.
+	LossProb float64
+	LossSeed uint64
+}
+
+// DefaultLinkConfig returns the testbed's 100 Gbps operating point.
+func DefaultLinkConfig() LinkConfig {
+	return LinkConfig{Bandwidth: 100_000_000_000, Propagation: 500 * sim.Nanosecond}
+}
+
+// Receiver consumes frames at their virtual arrival time.
+type Receiver func(frame []byte, at sim.Time)
+
+// Link is a unidirectional serialized link.
+type Link struct {
+	cfg    LinkConfig
+	eng    *sim.Engine
+	dst    Receiver
+	freeAt sim.Time
+	loss   *sim.RNG
+
+	Frames  uint64
+	Bytes   uint64
+	Dropped uint64
+}
+
+// NewLink builds a link delivering to dst. A zero Bandwidth takes the
+// 100 Gbps default; zero Propagation genuinely means zero (use
+// DefaultLinkConfig for the testbed's 500 ns).
+func NewLink(eng *sim.Engine, cfg LinkConfig, dst Receiver) *Link {
+	if cfg.Bandwidth == 0 {
+		cfg.Bandwidth = DefaultLinkConfig().Bandwidth
+	}
+	l := &Link{cfg: cfg, eng: eng, dst: dst}
+	if cfg.LossProb > 0 {
+		l.loss = sim.NewRNG(cfg.LossSeed, 0x10557)
+	}
+	return l
+}
+
+// SetReceiver replaces the link's receiver (used when wiring loops).
+func (l *Link) SetReceiver(dst Receiver) { l.dst = dst }
+
+// Send enqueues a frame for transmission now; the receiver sees it after
+// queueing, serialization, and propagation.
+func (l *Link) Send(frame []byte) {
+	start := l.eng.Now()
+	if l.freeAt > start {
+		start = l.freeAt
+	}
+	depart := start + sim.Time(uint64(len(frame))*8*uint64(sim.Second)/l.cfg.Bandwidth)
+	l.freeAt = depart
+	arrive := depart + l.cfg.Propagation
+	l.Frames++
+	l.Bytes += uint64(len(frame))
+	if l.loss != nil && l.loss.Bernoulli(l.cfg.LossProb) {
+		l.Dropped++
+		return
+	}
+	l.eng.At(arrive, func() { l.dst(frame, arrive) })
+}
+
+// Busy reports whether the link is still serializing previously sent frames.
+func (l *Link) Busy() bool { return l.freeAt > l.eng.Now() }
+
+// Duplex is a bidirectional cable: A-to-B and B-to-A links with shared
+// configuration, mirroring one physical cable of Fig. 11.
+type Duplex struct {
+	AtoB, BtoA *Link
+}
+
+// NewDuplex builds a cable; receivers are set later via SetReceiver on each
+// direction.
+func NewDuplex(eng *sim.Engine, cfg LinkConfig) *Duplex {
+	return &Duplex{
+		AtoB: NewLink(eng, cfg, nil),
+		BtoA: NewLink(eng, cfg, nil),
+	}
+}

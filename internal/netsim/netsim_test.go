@@ -1,0 +1,82 @@
+package netsim
+
+import (
+	"testing"
+
+	"github.com/trioml/triogo/internal/sim"
+)
+
+func TestLinkSerializationAndPropagation(t *testing.T) {
+	eng := sim.NewEngine()
+	var at sim.Time
+	l := NewLink(eng, LinkConfig{Bandwidth: 100_000_000_000, Propagation: 500 * sim.Nanosecond},
+		func(f []byte, a sim.Time) { at = a })
+	l.Send(make([]byte, 1250)) // 100 ns at 100 Gbps
+	eng.Run()
+	if at != 600*sim.Nanosecond {
+		t.Fatalf("arrival = %v, want 600 ns", at)
+	}
+}
+
+func TestLinkFIFOQueueing(t *testing.T) {
+	eng := sim.NewEngine()
+	var arrivals []sim.Time
+	l := NewLink(eng, LinkConfig{Bandwidth: 100_000_000_000, Propagation: 0},
+		func(f []byte, a sim.Time) { arrivals = append(arrivals, a) })
+	for i := 0; i < 3; i++ {
+		l.Send(make([]byte, 12500)) // 1 µs each
+	}
+	if !l.Busy() {
+		t.Fatal("link should be busy")
+	}
+	eng.Run()
+	want := []sim.Time{1 * sim.Microsecond, 2 * sim.Microsecond, 3 * sim.Microsecond}
+	for i := range want {
+		if arrivals[i] != want[i] {
+			t.Fatalf("arrival %d = %v, want %v", i, arrivals[i], want[i])
+		}
+	}
+	if l.Frames != 3 || l.Bytes != 37500 {
+		t.Fatalf("counters = %d frames %d bytes", l.Frames, l.Bytes)
+	}
+}
+
+func TestLinkIdleGapsDoNotAccumulateCredit(t *testing.T) {
+	eng := sim.NewEngine()
+	var arrivals []sim.Time
+	l := NewLink(eng, LinkConfig{Bandwidth: 100_000_000_000, Propagation: 0},
+		func(f []byte, a sim.Time) { arrivals = append(arrivals, a) })
+	l.Send(make([]byte, 1250))
+	eng.RunUntil(10 * sim.Microsecond)
+	l.Send(make([]byte, 1250))
+	eng.Run()
+	if arrivals[1] != 10*sim.Microsecond+100*sim.Nanosecond {
+		t.Fatalf("second arrival = %v", arrivals[1])
+	}
+}
+
+func TestDuplexDirectionsIndependent(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDuplex(eng, LinkConfig{Bandwidth: 100_000_000_000, Propagation: 0})
+	var aToB, bToA int
+	d.AtoB.SetReceiver(func([]byte, sim.Time) { aToB++ })
+	d.BtoA.SetReceiver(func([]byte, sim.Time) { bToA++ })
+	d.AtoB.Send(make([]byte, 100))
+	d.BtoA.Send(make([]byte, 100))
+	d.BtoA.Send(make([]byte, 100))
+	eng.Run()
+	if aToB != 1 || bToA != 2 {
+		t.Fatalf("a->b=%d b->a=%d", aToB, bToA)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	eng := sim.NewEngine()
+	var at sim.Time
+	l := NewLink(eng, LinkConfig{}, func(f []byte, a sim.Time) { at = a })
+	l.Send(make([]byte, 12500)) // 1 µs at default 100 Gbps, zero propagation
+	eng.Run()
+	if at != 1*sim.Microsecond {
+		t.Fatalf("arrival = %v", at)
+	}
+}

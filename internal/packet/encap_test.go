@@ -1,0 +1,161 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestVLANRoundTrip(t *testing.T) {
+	v := VLAN{PCP: 5, DEI: true, VID: 0xABC, EtherType: EtherTypeIPv4}
+	b := make([]byte, VLANLen)
+	v.MarshalTo(b)
+	var got VLAN
+	rest, err := got.Unmarshal(b)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("err=%v rest=%d", err, len(rest))
+	}
+	if got != v {
+		t.Fatalf("%+v != %+v", got, v)
+	}
+}
+
+func TestVLANProperty(t *testing.T) {
+	f := func(pcp uint8, dei bool, vid, etype uint16) bool {
+		v := VLAN{PCP: pcp & 7, DEI: dei, VID: vid & 0xFFF, EtherType: etype}
+		b := make([]byte, VLANLen)
+		v.MarshalTo(b)
+		var got VLAN
+		if _, err := got.Unmarshal(b); err != nil {
+			return false
+		}
+		return got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMPLSLabelRoundTrip(t *testing.T) {
+	f := func(label uint32, tc uint8, bottom bool, ttl uint8) bool {
+		m := MPLSLabel{Label: label & 0xFFFFF, TC: tc & 7, Bottom: bottom, TTL: ttl}
+		b := make([]byte, MPLSLabelLen)
+		m.MarshalTo(b)
+		var got MPLSLabel
+		if _, err := got.Unmarshal(b); err != nil {
+			return false
+		}
+		return got == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMPLSStackStopsAtBottom(t *testing.T) {
+	b := make([]byte, 3*MPLSLabelLen+4)
+	(&MPLSLabel{Label: 100, TTL: 64}).MarshalTo(b[0:])
+	(&MPLSLabel{Label: 200, TTL: 64}).MarshalTo(b[4:])
+	(&MPLSLabel{Label: 300, Bottom: true, TTL: 64}).MarshalTo(b[8:])
+	stack, rest, err := MPLSStack(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stack) != 3 || stack[0].Label != 100 || stack[2].Label != 300 {
+		t.Fatalf("stack = %+v", stack)
+	}
+	if len(rest) != 4 {
+		t.Fatalf("rest = %d", len(rest))
+	}
+}
+
+func TestMPLSStackWithoutBottomErrors(t *testing.T) {
+	b := make([]byte, 20*MPLSLabelLen)
+	for i := 0; i < 20; i++ {
+		(&MPLSLabel{Label: uint32(i)}).MarshalTo(b[4*i:])
+	}
+	if _, _, err := MPLSStack(b); err == nil {
+		t.Fatal("runaway stack accepted")
+	}
+}
+
+func TestDecodeEncapVLANOverMPLSOverIPv4(t *testing.T) {
+	// Build inner UDP/IPv4, wrap in a 2-label MPLS stack, then a VLAN tag —
+	// the §8 "inner headers depend on lookup results" stack.
+	inner := BuildUDP(UDPSpec{
+		SrcIP: [4]byte{192, 168, 1, 1}, DstIP: [4]byte{192, 168, 1, 2},
+		SrcPort: 7, DstPort: 9,
+	}, []byte("deep payload"))
+	frame := PushMPLS(MACFromUint64(1), MACFromUint64(2),
+		[]MPLSLabel{{Label: 16, TTL: 64}, {Label: 17, TTL: 64}},
+		inner[EthernetLen:])
+	frame = PushVLAN(frame, VLAN{PCP: 3, VID: 100})
+
+	e, err := DecodeEncap(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.VLANs) != 1 || e.VLANs[0].VID != 100 {
+		t.Fatalf("vlans = %+v", e.VLANs)
+	}
+	if len(e.MPLS) != 2 || e.MPLS[0].Label != 16 || !e.MPLS[1].Bottom {
+		t.Fatalf("mpls = %+v", e.MPLS)
+	}
+	if e.IP == nil || e.IP.Src != [4]byte{192, 168, 1, 1} {
+		t.Fatalf("ip = %+v", e.IP)
+	}
+	if e.UDP == nil || e.UDP.DstPort != 9 {
+		t.Fatalf("udp = %+v", e.UDP)
+	}
+	if !bytes.Equal(e.Rest, []byte("deep payload")) {
+		t.Fatalf("rest = %q", e.Rest)
+	}
+}
+
+func TestDecodeEncapPlainIPv4(t *testing.T) {
+	frame := BuildUDP(UDPSpec{SrcPort: 1, DstPort: 2}, []byte("x"))
+	e, err := DecodeEncap(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.VLANs) != 0 || len(e.MPLS) != 0 || e.IP == nil || e.UDP == nil {
+		t.Fatalf("encap = %+v", e)
+	}
+}
+
+func TestDecodeEncapDoubleVLAN(t *testing.T) {
+	frame := BuildUDP(UDPSpec{SrcPort: 1, DstPort: 2}, []byte("x"))
+	frame = PushVLAN(frame, VLAN{VID: 200}) // inner (C-tag)
+	frame = PushVLAN(frame, VLAN{VID: 100}) // outer (S-tag)
+	e, err := DecodeEncap(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.VLANs) != 2 || e.VLANs[0].VID != 100 || e.VLANs[1].VID != 200 {
+		t.Fatalf("vlans = %+v", e.VLANs)
+	}
+	if e.IP == nil {
+		t.Fatal("inner IP lost")
+	}
+}
+
+func TestDecodeEncapNonIPBelowMPLS(t *testing.T) {
+	frame := PushMPLS(MACFromUint64(1), MACFromUint64(2),
+		[]MPLSLabel{{Label: 16}}, []byte{0x60, 0, 0, 0}) // version 6 nibble
+	e, err := DecodeEncap(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.IP != nil || len(e.Rest) != 4 {
+		t.Fatalf("encap = %+v", e)
+	}
+}
+
+func TestPushMPLSEmptyStackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PushMPLS(MAC{}, MAC{}, nil, nil)
+}

@@ -1,0 +1,149 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Frame is a fully decoded Ethernet/IPv4/UDP packet, with the Trio-ML header
+// additionally decoded when the UDP destination port matches TrioMLPort.
+type Frame struct {
+	Eth     Ethernet
+	IP      IPv4
+	UDP     UDP
+	ML      *TrioML // nil unless a Trio-ML aggregation packet
+	Payload []byte  // bytes after the innermost decoded header (view into Raw)
+	Raw     []byte  // the complete frame
+}
+
+// UDPSpec names the endpoints of a UDP packet to build.
+type UDPSpec struct {
+	SrcMAC, DstMAC   MAC
+	SrcIP, DstIP     [4]byte
+	SrcPort, DstPort uint16
+	TTL              uint8 // 0 means 64
+	IPOptions        []byte
+}
+
+// BuildUDP serializes a complete Ethernet/IPv4/UDP frame around payload,
+// filling in lengths and both checksums.
+func BuildUDP(spec UDPSpec, payload []byte) []byte {
+	ttl := spec.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	ip := IPv4{
+		TTL:      ttl,
+		Protocol: ProtoUDP,
+		Src:      spec.SrcIP,
+		Dst:      spec.DstIP,
+		Options:  spec.IPOptions,
+	}
+	udp := UDP{
+		SrcPort: spec.SrcPort,
+		DstPort: spec.DstPort,
+		Length:  uint16(UDPLen + len(payload)),
+	}
+	ip.TotalLen = uint16(ip.HeaderLen() + UDPLen + len(payload))
+	eth := Ethernet{Dst: spec.DstMAC, Src: spec.SrcMAC, EtherType: EtherTypeIPv4}
+
+	buf := make([]byte, EthernetLen+int(ip.TotalLen))
+	off := eth.MarshalTo(buf)
+	ipStart := off
+	off += ip.MarshalTo(buf[off:])
+	udpStart := off
+	off += udp.MarshalTo(buf[off:])
+	copy(buf[off:], payload)
+
+	csum := udpChecksum(buf[ipStart:], buf[udpStart:])
+	binary.BigEndian.PutUint16(buf[udpStart+6:udpStart+8], csum)
+	return buf
+}
+
+// BuildTrioML serializes a Trio-ML aggregation packet: UDP payload is the
+// 12-byte trio_ml_hdr_t followed by hdr.GradCnt big-endian int32 gradients.
+// If hdr.GradCnt is zero it is set from len(grads).
+func BuildTrioML(spec UDPSpec, hdr TrioML, grads []int32) []byte {
+	if len(grads) > MaxGradientsPerPacket {
+		panic(fmt.Sprintf("packet: %d gradients exceeds max %d per packet", len(grads), MaxGradientsPerPacket))
+	}
+	if hdr.GradCnt == 0 {
+		hdr.GradCnt = uint16(len(grads))
+	}
+	payload := make([]byte, TrioMLHeaderLen+4*len(grads))
+	hdr.MarshalTo(payload)
+	PutGradients(payload[TrioMLHeaderLen:], grads)
+	if spec.DstPort == 0 {
+		spec.DstPort = TrioMLPort
+	}
+	return BuildUDP(spec, payload)
+}
+
+// udpChecksum computes the UDP checksum given the serialized IP header (for
+// the pseudo-header fields) and the serialized UDP header+payload with a
+// zeroed checksum field.
+func udpChecksum(ipHdr, udpSeg []byte) uint16 {
+	var pseudo uint32
+	pseudo += uint32(ipHdr[12])<<8 | uint32(ipHdr[13]) // src
+	pseudo += uint32(ipHdr[14])<<8 | uint32(ipHdr[15])
+	pseudo += uint32(ipHdr[16])<<8 | uint32(ipHdr[17]) // dst
+	pseudo += uint32(ipHdr[18])<<8 | uint32(ipHdr[19])
+	pseudo += uint32(ProtoUDP)
+	pseudo += uint32(len(udpSeg))
+	sum := Checksum(udpSeg, pseudo)
+	if sum == 0 {
+		sum = 0xFFFF // RFC 768: transmitted all-ones when computed zero
+	}
+	return sum
+}
+
+// Decode parses a complete Ethernet frame. Non-IPv4 and non-UDP packets
+// decode successfully with Payload holding the undecoded remainder; header
+// corruption returns an error identifying the failing layer.
+func Decode(raw []byte) (*Frame, error) {
+	f := &Frame{Raw: raw}
+	rest, err := f.Eth.Unmarshal(raw)
+	if err != nil {
+		return nil, err
+	}
+	f.Payload = rest
+	if f.Eth.EtherType != EtherTypeIPv4 {
+		return f, nil
+	}
+	if rest, err = f.IP.Unmarshal(rest); err != nil {
+		return nil, err
+	}
+	f.Payload = rest
+	if f.IP.Protocol != ProtoUDP {
+		return f, nil
+	}
+	if rest, err = f.UDP.Unmarshal(rest); err != nil {
+		return nil, err
+	}
+	f.Payload = rest
+	if f.UDP.DstPort == TrioMLPort {
+		var ml TrioML
+		if rest, err = ml.Unmarshal(rest); err != nil {
+			return nil, err
+		}
+		f.ML = &ml
+		f.Payload = rest
+	}
+	return f, nil
+}
+
+// IsTrioML reports whether the frame carries a Trio-ML aggregation header.
+func (f *Frame) IsTrioML() bool { return f.ML != nil }
+
+// VerifyUDPChecksum recomputes the UDP checksum of a decoded frame and
+// reports whether it matches. Frames without UDP report true.
+func (f *Frame) VerifyUDPChecksum() bool {
+	if f.Eth.EtherType != EtherTypeIPv4 || f.IP.Protocol != ProtoUDP {
+		return true
+	}
+	ipStart := EthernetLen
+	udpStart := ipStart + f.IP.HeaderLen()
+	seg := append([]byte(nil), f.Raw[udpStart:]...)
+	seg[6], seg[7] = 0, 0
+	return udpChecksum(f.Raw[ipStart:], seg) == f.UDP.Checksum
+}

@@ -1,0 +1,205 @@
+package telemetry
+
+import (
+	"testing"
+
+	"github.com/trioml/triogo/internal/packet"
+	"github.com/trioml/triogo/internal/sim"
+	"github.com/trioml/triogo/internal/trio/pfe"
+)
+
+func frame(src byte, sport uint16, size int) []byte {
+	return packet.BuildUDP(packet.UDPSpec{
+		SrcIP: [4]byte{10, 0, 0, src}, DstIP: [4]byte{10, 0, 1, 1},
+		SrcPort: sport, DstPort: 80,
+	}, make([]byte, size))
+}
+
+func newMonitor(t *testing.T, cfg Config) (*sim.Engine, *pfe.PFE, *Monitor) {
+	t.Helper()
+	eng := sim.NewEngine()
+	p := pfe.New(eng, pfe.Config{})
+	cfg.EgressPort = 1
+	m, err := Attach(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, p, m
+}
+
+func TestPerFlowCounting(t *testing.T) {
+	eng, p, m := newMonitor(t, Config{})
+	for i := 0; i < 5; i++ {
+		p.Inject(0, 1, frame(1, 1000, 100))
+	}
+	for i := 0; i < 3; i++ {
+		p.Inject(0, 2, frame(2, 2000, 200))
+	}
+	eng.RunUntil(1 * sim.Millisecond)
+	st := m.Stats()
+	if st.Packets != 8 || st.NewFlows != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if m.LiveFlows() != 2 {
+		t.Fatalf("live = %d", m.LiveFlows())
+	}
+	m.Stop()
+}
+
+func TestIdleFlowsExportedWithCounts(t *testing.T) {
+	var exports []FlowRecord
+	eng, p, m := newMonitor(t, Config{
+		ScanPeriod: 2 * sim.Millisecond,
+		OnExport:   func(r FlowRecord) { exports = append(exports, r) },
+	})
+	for i := 0; i < 7; i++ {
+		p.Inject(0, 1, frame(1, 1000, 150))
+	}
+	eng.RunUntil(10 * sim.Millisecond)
+	m.Stop()
+	if len(exports) != 1 {
+		t.Fatalf("exports = %d", len(exports))
+	}
+	e := exports[0]
+	if e.Packets != 7 || e.Bytes != 7*(150+42) {
+		t.Fatalf("export = %+v", e)
+	}
+	if m.LiveFlows() != 0 {
+		t.Fatalf("live = %d after export", m.LiveFlows())
+	}
+}
+
+func TestActiveFlowNotExported(t *testing.T) {
+	var exports []FlowRecord
+	eng, p, m := newMonitor(t, Config{
+		ScanPeriod: 2 * sim.Millisecond,
+		OnExport:   func(r FlowRecord) { exports = append(exports, r) },
+	})
+	// Keep the flow warm for 20 ms.
+	for ms := 0; ms < 20; ms++ {
+		at := sim.Time(ms) * sim.Millisecond
+		eng.At(at, func() { p.Inject(0, 1, frame(1, 1000, 100)) })
+	}
+	eng.RunUntil(21 * sim.Millisecond)
+	if len(exports) != 0 {
+		t.Fatalf("active flow exported: %+v", exports)
+	}
+	m.Stop()
+}
+
+func TestHeavyHitterFlagged(t *testing.T) {
+	var heavy []FlowRecord
+	eng, p, m := newMonitor(t, Config{
+		ScanPeriod: 1 * sim.Millisecond,
+		HeavyBytes: 10_000,
+		OnHeavy:    func(r FlowRecord) { heavy = append(heavy, r) },
+	})
+	for i := 0; i < 20; i++ {
+		p.Inject(0, 1, frame(1, 1000, 1400)) // ~29 KB total
+		p.Inject(0, 2, frame(2, 2000, 100))  // mouse
+	}
+	eng.RunUntil(5 * sim.Millisecond)
+	m.Stop()
+	if len(heavy) != 1 {
+		t.Fatalf("heavy = %d", len(heavy))
+	}
+	if heavy[0].Bytes < 10_000 {
+		t.Fatalf("heavy record = %+v", heavy[0])
+	}
+	if m.Stats().HeavyFlows != 1 {
+		t.Fatalf("stats = %+v", m.Stats())
+	}
+}
+
+func TestTableFullCounted(t *testing.T) {
+	eng, p, m := newMonitor(t, Config{MaxFlows: 4})
+	for i := 0; i < 8; i++ {
+		p.Inject(0, uint64(i), frame(byte(i+1), uint16(1000+i), 100))
+	}
+	eng.RunUntil(1 * sim.Millisecond)
+	m.Stop()
+	st := m.Stats()
+	if st.NewFlows != 4 || st.TableFull != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestNonIPDropped(t *testing.T) {
+	eng, p, m := newMonitor(t, Config{})
+	arp := make([]byte, 64)
+	(&packet.Ethernet{EtherType: packet.EtherTypeARP}).MarshalTo(arp)
+	p.Inject(0, 1, arp)
+	eng.RunUntil(1 * sim.Millisecond)
+	m.Stop()
+	if m.Stats().NonIPPApkts != 1 {
+		t.Fatalf("stats = %+v", m.Stats())
+	}
+}
+
+func TestGuardQuarantinesAbusiveSource(t *testing.T) {
+	g, err := NewGuard(GuardConfig{
+		RateBytesPerSec: 1_000_000, BurstBytes: 500, Strikes: 3, QuarantineSweeps: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, p, m := newMonitor(t, Config{ScanPeriod: 2 * sim.Millisecond, Guard: g})
+	delivered := 0
+	p.SetOutput(func(int, []byte, sim.Time) { delivered++ })
+
+	// Source 9 bursts far over its rate; source 1 stays polite.
+	for i := 0; i < 40; i++ {
+		p.Inject(0, 9, frame(9, 3000, 1400))
+	}
+	for ms := 0; ms < 10; ms++ {
+		at := sim.Time(ms) * sim.Millisecond
+		eng.At(at, func() { p.Inject(0, 1, frame(1, 1000, 100)) })
+	}
+	eng.RunUntil(11 * sim.Millisecond)
+	if g.Quarantined == 0 {
+		t.Fatal("abusive source not quarantined")
+	}
+	st := m.Stats()
+	if st.GuardDrops < 30 {
+		t.Fatalf("guard drops = %d", st.GuardDrops)
+	}
+	// Polite traffic kept flowing throughout.
+	if delivered < 10 {
+		t.Fatalf("delivered = %d", delivered)
+	}
+	m.Stop()
+}
+
+func TestGuardReleasesAfterIdleSweeps(t *testing.T) {
+	g, _ := NewGuard(GuardConfig{
+		RateBytesPerSec: 100_000, BurstBytes: 500, Strikes: 1, QuarantineSweeps: 2,
+	})
+	eng, p, m := newMonitor(t, Config{ScanPeriod: 2 * sim.Millisecond, ScanThreads: 1, Guard: g})
+	for i := 0; i < 10; i++ {
+		p.Inject(0, 9, frame(9, 3000, 1400))
+	}
+	eng.RunUntil(1 * sim.Millisecond)
+	if g.Quarantined == 0 {
+		t.Fatal("not quarantined")
+	}
+	// Idle long enough for the countdown to elapse.
+	eng.RunUntil(30 * sim.Millisecond)
+	if g.Released == 0 {
+		t.Fatal("quarantine never released")
+	}
+	// The source may send again (bucket refilled during quarantine).
+	delivered := 0
+	p.SetOutput(func(int, []byte, sim.Time) { delivered++ })
+	p.Inject(0, 9, frame(9, 3000, 100))
+	eng.RunUntil(31 * sim.Millisecond)
+	if delivered != 1 {
+		t.Fatalf("released source still blocked (delivered=%d)", delivered)
+	}
+	m.Stop()
+}
+
+func TestGuardConfigValidation(t *testing.T) {
+	if _, err := NewGuard(GuardConfig{}); err == nil {
+		t.Fatal("empty guard config accepted")
+	}
+}

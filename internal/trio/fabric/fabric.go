@@ -1,0 +1,73 @@
+// Package fabric models the interconnection fabric that joins the PFEs of a
+// multi-PFE Trio chassis (§2.1): an any-to-any, non-blocking interconnect
+// whose per-path capacity is provisioned so the fabric itself never limits
+// forwarding. Frames crossing the fabric pay a fixed traversal latency plus
+// per-path serialization.
+package fabric
+
+import (
+	"fmt"
+
+	"github.com/trioml/triogo/internal/sim"
+)
+
+// Config parameterizes a fabric instance.
+type Config struct {
+	Latency   sim.Time // traversal latency; default 500 ns
+	Bandwidth uint64   // bits per second per (src,dst) path; default 400 Gbps
+}
+
+// DefaultConfig returns a fabric comfortably faster than the 100 Gbps ports
+// it interconnects, matching "the interconnection fabric expands the
+// bandwidth of a device much farther than a single chip could support".
+func DefaultConfig() Config {
+	return Config{Latency: 500 * sim.Nanosecond, Bandwidth: 400_000_000_000}
+}
+
+// Fabric is an any-to-any interconnect between n endpoints.
+type Fabric struct {
+	cfg    Config
+	eng    *sim.Engine
+	n      int
+	paths  []sim.Time // freeAt per (src,dst) path
+	frames uint64
+	bytes  uint64
+}
+
+// New builds a fabric joining n endpoints.
+func New(eng *sim.Engine, n int, cfg Config) *Fabric {
+	def := DefaultConfig()
+	if cfg.Latency == 0 {
+		cfg.Latency = def.Latency
+	}
+	if cfg.Bandwidth == 0 {
+		cfg.Bandwidth = def.Bandwidth
+	}
+	return &Fabric{cfg: cfg, eng: eng, n: n, paths: make([]sim.Time, n*n)}
+}
+
+// Send moves a frame from endpoint src to endpoint dst, invoking deliver at
+// the virtual arrival time.
+func (f *Fabric) Send(src, dst int, frame []byte, deliver func(frame []byte, at sim.Time)) {
+	if src < 0 || src >= f.n || dst < 0 || dst >= f.n {
+		panic(fmt.Sprintf("fabric: path %d->%d outside %d endpoints", src, dst, f.n))
+	}
+	ser := sim.Time(uint64(len(frame)) * 8 * uint64(sim.Second) / f.cfg.Bandwidth)
+	idx := src*f.n + dst
+	start := f.eng.Now()
+	if f.paths[idx] > start {
+		start = f.paths[idx]
+	}
+	depart := start + ser
+	f.paths[idx] = depart
+	arrive := depart + f.cfg.Latency
+	f.frames++
+	f.bytes += uint64(len(frame))
+	f.eng.At(arrive, func() { deliver(frame, arrive) })
+}
+
+// Frames reports the number of frames carried.
+func (f *Fabric) Frames() uint64 { return f.frames }
+
+// Bytes reports the number of bytes carried.
+func (f *Fabric) Bytes() uint64 { return f.bytes }

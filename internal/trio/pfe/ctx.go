@@ -1,0 +1,312 @@
+package pfe
+
+import (
+	"fmt"
+
+	"github.com/trioml/triogo/internal/microcode"
+	"github.com/trioml/triogo/internal/sim"
+	"github.com/trioml/triogo/internal/trio/hasheng"
+)
+
+// CtxStats counts one thread's dynamic activity.
+type CtxStats struct {
+	Instructions uint64
+	XTXNs        uint64
+	SyncStall    sim.Time
+}
+
+// Ctx is the execution context of one PPE thread: the packet head in local
+// memory, access to the tail via XTXNs, the shared memory and hash engine
+// over the crossbar, and explicit compute accounting. Native applications
+// call ChargeInstr for the instruction work their Microcode equivalent would
+// execute; the timing constants come from the PFE config.
+type Ctx struct {
+	pfe  *PFE
+	now  sim.Time
+	pkt  *Packet // nil for timer threads
+	head []byte  // the thread's copy of the packet head (mutable)
+	tail []byte  // view of the tail held in the Packet Buffer
+
+	verdict    Verdict
+	egressPort int
+	emits      []emit
+	stats      CtxStats
+}
+
+type emit struct {
+	port  int
+	frame []byte
+}
+
+// Now reports the thread's current virtual time.
+func (c *Ctx) Now() sim.Time { return c.now }
+
+// Stats reports the thread's activity counters so far.
+func (c *Ctx) Stats() CtxStats { return c.stats }
+
+// Packet returns the packet being processed (nil in timer threads).
+func (c *Ctx) Packet() *Packet { return c.pkt }
+
+// Head returns the mutable packet head in the thread's local memory.
+func (c *Ctx) Head() []byte { return c.head }
+
+// SetHead replaces the packet head (packet rewriting: PPEs "can easily
+// create new headers or consume/remove existing headers", §2.2).
+func (c *Ctx) SetHead(h []byte) { c.head = h }
+
+// FrameLen reports the full packet length (head + tail).
+func (c *Ctx) FrameLen() int { return len(c.head) + len(c.tail) }
+
+// TailLen reports the number of tail bytes held in the Packet Buffer.
+func (c *Ctx) TailLen() int { return len(c.tail) }
+
+// ChargeInstr accounts for n micro-instructions of thread compute.
+func (c *Ctx) ChargeInstr(n int) {
+	c.stats.Instructions += uint64(n)
+	c.now += sim.Time(n*c.pfe.Cfg.CyclesPerInst) * c.pfe.Cfg.CycleTime
+}
+
+// ChargeCycles accounts for raw cycles (non-instruction overheads).
+func (c *Ctx) ChargeCycles(n int) {
+	c.now += sim.Time(n) * c.pfe.Cfg.CycleTime
+}
+
+// wait models a synchronous XTXN: the thread suspends until done.
+func (c *Ctx) wait(done sim.Time) {
+	if done > c.now {
+		c.stats.SyncStall += done - c.now
+		c.now = done
+	}
+}
+
+// ReadTail fetches size bytes of the packet tail starting at off into the
+// thread (one XTXN through the crossbar to the Memory and Queueing
+// Subsystem, §3.1). Short reads at the end of the tail return what remains.
+func (c *Ctx) ReadTail(off, size int) []byte {
+	c.stats.XTXNs++
+	end := off + size
+	if end > len(c.tail) {
+		end = len(c.tail)
+	}
+	if off > end {
+		off = end
+	}
+	// Tail data crosses the crossbar with SRAM-class latency.
+	c.wait(c.now + 70*sim.Nanosecond)
+	return c.tail[off:end]
+}
+
+// WriteTail writes bytes into the packet tail held in the Packet Buffer —
+// the PMEM write of Fig. 10's result-build loop. Writes beyond the tail are
+// clipped.
+func (c *Ctx) WriteTail(off int, data []byte) {
+	c.stats.XTXNs++
+	if off < 0 || off >= len(c.tail) {
+		return
+	}
+	copy(c.tail[off:], data)
+	c.wait(c.now + 70*sim.Nanosecond)
+}
+
+// MemRead issues a synchronous shared-memory read XTXN.
+func (c *Ctx) MemRead(addr uint64, size int) []byte {
+	c.stats.XTXNs++
+	data, done := c.pfe.Mem.Read(c.now, addr, size)
+	c.wait(done)
+	return data
+}
+
+// MemWrite issues a shared-memory write XTXN. Async writes do not suspend
+// the thread.
+func (c *Ctx) MemWrite(addr uint64, data []byte, async bool) {
+	c.stats.XTXNs++
+	done := c.pfe.Mem.Write(c.now, addr, data)
+	if !async {
+		c.wait(done)
+	}
+}
+
+// AddVector32 offloads gradient summation to the RMW engines (§6.3): the
+// engines do the adds near memory; the issuing thread does not stall per
+// word, only for the crossbar issue.
+func (c *Ctx) AddVector32(addr uint64, deltas []int32) {
+	c.stats.XTXNs++
+	c.pfe.Mem.AddVector32(c.now, addr, deltas)
+}
+
+// ReadVector32 synchronously reads count 32-bit words from shared memory.
+func (c *Ctx) ReadVector32(addr uint64, count int) []int32 {
+	c.stats.XTXNs++
+	vals, done := c.pfe.Mem.ReadVector32(c.now, addr, count)
+	c.wait(done)
+	return vals
+}
+
+// CounterInc issues an asynchronous CounterIncPhys XTXN.
+func (c *Ctx) CounterInc(addr uint64, pktLen uint32) {
+	c.stats.XTXNs++
+	c.pfe.Mem.CounterInc(c.now, addr, pktLen)
+}
+
+// HashLookup issues a synchronous hash-engine lookup (sets the record's REF
+// flag on hit).
+func (c *Ctx) HashLookup(key uint64) (uint64, bool) {
+	c.stats.XTXNs++
+	v, ok, done := c.pfe.Hash.Lookup(c.now, key)
+	c.wait(done)
+	return v, ok
+}
+
+// HashInsert issues a synchronous hash-engine insert.
+func (c *Ctx) HashInsert(key, val uint64) bool {
+	c.stats.XTXNs++
+	ok, done := c.pfe.Hash.Insert(c.now, key, val)
+	c.wait(done)
+	return ok
+}
+
+// HashDelete issues a synchronous hash-engine delete.
+func (c *Ctx) HashDelete(key uint64) bool {
+	c.stats.XTXNs++
+	ok, done := c.pfe.Hash.Delete(c.now, key)
+	c.wait(done)
+	return ok
+}
+
+// ScanHashPartition sweeps partition part of nParts of the hash table,
+// charging the thread for the scan work (used by timer threads, §5).
+func (c *Ctx) ScanHashPartition(part, nParts int, visit func(key, val uint64, ref bool) hasheng.ScanAction) int {
+	c.stats.XTXNs++
+	n, done := c.pfe.Hash.ScanPartition(c.now, part, nParts, visit)
+	c.wait(done)
+	return n
+}
+
+// Forward sets the thread's verdict to forward the packet out port.
+func (c *Ctx) Forward(port int) {
+	c.verdict = VerdictForward
+	c.egressPort = port
+}
+
+// Drop sets the thread's verdict to drop the packet.
+func (c *Ctx) Drop() { c.verdict = VerdictDrop }
+
+// Consume absorbs the packet into shared state: nothing egresses, but the
+// packet is not an error drop.
+func (c *Ctx) Consume() { c.verdict = VerdictConsume }
+
+// Emit creates a new packet (e.g. an aggregation Result packet) and queues
+// it for egress on port. The frame is built in the Packet Buffer; the paper
+// builds result tails in 256-byte chunks, which callers account for
+// explicitly via ChargeInstr/MemRead.
+func (c *Ctx) Emit(port int, frame []byte) {
+	if port < 0 || port >= c.pfe.Cfg.NumPorts {
+		panic(fmt.Sprintf("pfe%d: emit on invalid port %d", c.pfe.Cfg.ID, port))
+	}
+	c.emits = append(c.emits, emit{port: port, frame: frame})
+}
+
+// FullFrame reassembles head+tail as the egress path would (a Packet Buffer
+// DMA, not a per-byte thread copy, so no XTXN time is charged). Use it when
+// replicating a packet to multiple ports.
+func (c *Ctx) FullFrame() []byte { return c.rebuildFrame() }
+
+// rebuildFrame reassembles head+tail after processing for forwarding.
+func (c *Ctx) rebuildFrame() []byte {
+	frame := make([]byte, 0, len(c.head)+len(c.tail))
+	frame = append(frame, c.head...)
+	return append(frame, c.tail...)
+}
+
+// ---- Microcode adapter ----
+
+// mcEnv adapts a Ctx to microcode.Env so assembled programs can run on PPE
+// threads with identical XTXN semantics.
+type mcEnv struct{ c *Ctx }
+
+func (e mcEnv) MemRead(now sim.Time, addr uint64, size int) ([]byte, sim.Time) {
+	return e.c.pfe.Mem.Read(now, addr, size)
+}
+func (e mcEnv) MemWrite(now sim.Time, addr uint64, data []byte) sim.Time {
+	return e.c.pfe.Mem.Write(now, addr, data)
+}
+func (e mcEnv) CounterInc(now sim.Time, addr uint64, pktLen uint32) sim.Time {
+	return e.c.pfe.Mem.CounterInc(now, addr, pktLen)
+}
+func (e mcEnv) ReadTail(now sim.Time, off, size int) ([]byte, sim.Time) {
+	end := off + size
+	if end > len(e.c.tail) {
+		end = len(e.c.tail)
+	}
+	if off > end {
+		off = end
+	}
+	return e.c.tail[off:end], now + 70*sim.Nanosecond
+}
+func (e mcEnv) WriteTail(now sim.Time, off int, data []byte) sim.Time {
+	if off >= 0 && off < len(e.c.tail) {
+		copy(e.c.tail[off:], data)
+	}
+	return now + 70*sim.Nanosecond
+}
+func (e mcEnv) HashLookup(now sim.Time, key uint64) (uint64, bool, sim.Time) {
+	return e.c.pfe.Hash.Lookup(now, key)
+}
+func (e mcEnv) HashInsert(now sim.Time, key, val uint64) (bool, sim.Time) {
+	return e.c.pfe.Hash.Insert(now, key, val)
+}
+func (e mcEnv) HashDelete(now sim.Time, key uint64) (bool, sim.Time) {
+	return e.c.pfe.Hash.Delete(now, key)
+}
+
+// MicrocodeApp wraps an assembled program as a PFE application. EgressPort
+// selects where forwarded packets leave; Entry is the first instruction
+// label ("" means the program's first instruction). Setup, when non-nil,
+// initializes thread registers from the packet (the dispatcher's metadata
+// hand-off, e.g. r1 = packet length).
+type MicrocodeApp struct {
+	Program    *microcode.Program
+	Entry      string
+	EgressPort int
+	Setup      func(th *microcode.Thread, ctx *Ctx)
+
+	// Errors counts threads that terminated abnormally (budget, bad label,
+	// run-time fault); LastError records the most recent cause.
+	Errors    uint64
+	LastError error
+}
+
+// Process implements App.
+func (m *MicrocodeApp) Process(ctx *Ctx) {
+	th := microcode.NewThread(mcEnv{ctx}, ctx.now)
+	th.LoadHead(ctx.head)
+	if m.Setup != nil {
+		m.Setup(th, ctx)
+	}
+	entry := m.Entry
+	if entry == "" {
+		entry = m.Program.Instrs[0].Label
+	}
+	timing := microcode.Timing{CycleTime: ctx.pfe.Cfg.CycleTime, CyclesPerInstr: ctx.pfe.Cfg.CyclesPerInst}
+	v, err := microcode.RunLimited(m.Program, th, entry, timing, microcode.DefaultBudget)
+	ctx.now = th.Now
+	ctx.stats.Instructions += th.Stats.Instructions
+	ctx.stats.XTXNs += th.Stats.XTXNs
+	ctx.stats.SyncStall += th.Stats.SyncStall
+	if err != nil {
+		m.Errors++
+		m.LastError = err
+		ctx.Drop()
+		return
+	}
+	// Unload the (possibly rewritten) head from local memory.
+	copy(ctx.head, th.LMem[:len(ctx.head)])
+	switch v {
+	case microcode.VerdictForward:
+		ctx.Forward(m.EgressPort)
+	case microcode.VerdictConsume:
+		ctx.Consume()
+	default:
+		ctx.Drop()
+	}
+}

@@ -1,0 +1,188 @@
+package pfe
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/trioml/triogo/internal/sim"
+	"github.com/trioml/triogo/internal/trio/smem"
+)
+
+// runApp drives one packet through a PFE with the given app body and
+// returns the PFE for inspection.
+func runApp(t *testing.T, frame []byte, body func(ctx *Ctx)) *PFE {
+	t.Helper()
+	eng := sim.NewEngine()
+	p := New(eng, Config{})
+	p.SetApp(AppFunc(body))
+	p.Inject(0, 1, frame)
+	eng.Run()
+	return p
+}
+
+func TestCtxMemReadWriteRoundTrip(t *testing.T) {
+	var got []byte
+	var stalled sim.Time
+	p := runApp(t, frameOfSize(64, 0), func(ctx *Ctx) {
+		addr := ctx.pfe.Mem.Alloc(smem.TierDRAM, 64)
+		ctx.MemWrite(addr, bytes.Repeat([]byte{7}, 16), false)
+		got = ctx.MemRead(addr, 16)
+		stalled = ctx.Stats().SyncStall
+		ctx.Consume()
+	})
+	_ = p
+	if !bytes.Equal(got, bytes.Repeat([]byte{7}, 16)) {
+		t.Fatalf("got % x", got)
+	}
+	// Two synchronous DRAM round trips stall the thread.
+	if stalled < 700*sim.Nanosecond {
+		t.Fatalf("sync stall = %v, want ≈2x 400 ns", stalled)
+	}
+}
+
+func TestCtxAsyncWriteDoesNotStall(t *testing.T) {
+	var stalled sim.Time
+	runApp(t, frameOfSize(64, 0), func(ctx *Ctx) {
+		addr := ctx.pfe.Mem.Alloc(smem.TierDRAM, 64)
+		ctx.MemWrite(addr, make([]byte, 64), true)
+		stalled = ctx.Stats().SyncStall
+		ctx.Drop()
+	})
+	if stalled != 0 {
+		t.Fatalf("async write stalled %v", stalled)
+	}
+}
+
+func TestCtxVectorOpsAndCounter(t *testing.T) {
+	var vals []int32
+	var pkts, byteCnt uint64
+	runApp(t, frameOfSize(64, 0), func(ctx *Ctx) {
+		buf := ctx.pfe.Mem.Alloc(smem.TierDRAM, 64)
+		cnt := ctx.pfe.Mem.Alloc(smem.TierSRAM, 16)
+		ctx.AddVector32(buf, []int32{1, 2, 3, 4})
+		ctx.AddVector32(buf, []int32{10, 20, 30, 40})
+		vals = ctx.ReadVector32(buf, 4)
+		ctx.CounterInc(cnt, 500)
+		pkts, byteCnt = ctx.pfe.Mem.Counter(cnt)
+		ctx.Consume()
+	})
+	want := []int32{11, 22, 33, 44}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("vals = %v", vals)
+		}
+	}
+	if pkts != 1 || byteCnt != 500 {
+		t.Fatalf("counter = (%d,%d)", pkts, byteCnt)
+	}
+}
+
+func TestCtxHashOps(t *testing.T) {
+	var beforeInsert, afterInsert, afterDelete bool
+	var val uint64
+	runApp(t, frameOfSize(64, 0), func(ctx *Ctx) {
+		_, beforeInsert = ctx.HashLookup(42)
+		ctx.HashInsert(42, 777)
+		val, afterInsert = ctx.HashLookup(42)
+		ctx.HashDelete(42)
+		_, afterDelete = ctx.HashLookup(42)
+		ctx.Consume()
+	})
+	if beforeInsert || !afterInsert || afterDelete || val != 777 {
+		t.Fatalf("hash sequence = %v %v %v val=%d", beforeInsert, afterInsert, afterDelete, val)
+	}
+}
+
+func TestCtxWriteTailVisibleInForwardedFrame(t *testing.T) {
+	eng := sim.NewEngine()
+	p := New(eng, Config{})
+	var got []byte
+	p.SetOutput(func(_ int, frame []byte, _ sim.Time) { got = frame })
+	p.SetApp(AppFunc(func(ctx *Ctx) {
+		ctx.WriteTail(10, []byte{0xAA, 0xBB})
+		ctx.WriteTail(-1, []byte{1})   // clipped: no-op
+		ctx.WriteTail(9999, []byte{1}) // beyond tail: no-op
+		ctx.Forward(0)
+	}))
+	p.Inject(0, 1, frameOfSize(300, 0x11))
+	eng.Run()
+	if got[192+10] != 0xAA || got[192+11] != 0xBB {
+		t.Fatalf("tail write lost: % x", got[200:204])
+	}
+	if got[0] != 0x11 {
+		t.Fatal("head disturbed")
+	}
+}
+
+func TestCtxSetHeadAndFullFrame(t *testing.T) {
+	var full []byte
+	var frameLen int
+	runApp(t, frameOfSize(300, 0x22), func(ctx *Ctx) {
+		newHead := append([]byte{0xEE}, ctx.Head()[1:]...)
+		ctx.SetHead(newHead)
+		full = ctx.FullFrame()
+		frameLen = ctx.FrameLen()
+		ctx.Consume()
+	})
+	if frameLen != 300 || len(full) != 300 {
+		t.Fatalf("lengths = %d/%d", frameLen, len(full))
+	}
+	if full[0] != 0xEE || full[200] != 0x22 {
+		t.Fatalf("full frame = %x...%x", full[0], full[200])
+	}
+}
+
+func TestCtxChargeCyclesAdvancesClock(t *testing.T) {
+	var before, after sim.Time
+	runApp(t, frameOfSize(64, 0), func(ctx *Ctx) {
+		before = ctx.Now()
+		ctx.ChargeCycles(100)
+		after = ctx.Now()
+		ctx.Drop()
+	})
+	if after-before != 100*sim.Nanosecond {
+		t.Fatalf("charged %v for 100 cycles at 1 ns", after-before)
+	}
+}
+
+func TestCtxPacketAccessor(t *testing.T) {
+	var flow uint64
+	var isTimer bool
+	eng := sim.NewEngine()
+	p := New(eng, Config{})
+	p.SetApp(AppFunc(func(ctx *Ctx) {
+		flow = ctx.Packet().Flow
+		ctx.Drop()
+	}))
+	p.StartTimerThreads(1, sim.Millisecond, func(ctx *Ctx, _ int) {
+		isTimer = ctx.Packet() == nil
+	})
+	p.Inject(0, 77, frameOfSize(64, 0))
+	eng.RunUntil(2 * sim.Millisecond)
+	if flow != 77 {
+		t.Fatalf("flow = %d", flow)
+	}
+	if !isTimer {
+		t.Fatal("timer thread saw a packet")
+	}
+}
+
+func TestCtxEmitInvalidPortPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	p := New(eng, Config{NumPorts: 2})
+	panicked := false
+	p.SetApp(AppFunc(func(ctx *Ctx) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+			ctx.Drop()
+		}()
+		ctx.Emit(5, []byte{1})
+	}))
+	p.Inject(0, 1, frameOfSize(64, 0))
+	eng.Run()
+	if !panicked {
+		t.Fatal("invalid emit port accepted")
+	}
+}

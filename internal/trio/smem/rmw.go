@@ -1,0 +1,207 @@
+package smem
+
+import (
+	"encoding/binary"
+
+	"github.com/trioml/triogo/internal/sim"
+)
+
+// This file implements the "rich variety of read-modify-write operations"
+// of §2.3: Packet/Byte Counters, Policers, Logical Fetch-and-Ops
+// (And/Or/Xor/Clear), Fetch-and-Swap, Masked Write, and 32-bit add. Each
+// runs inside the owning RMW engine: the data never moves to the requesting
+// thread, and concurrent requests to one location serialize at the engine.
+
+// addCycles is the engine occupancy of one 8-byte add: "each add operation
+// takes two cycles" (§6.3).
+const addCycles = 2
+
+// CounterInc implements the CounterIncPhys XTXN (§3.2): a 16-byte
+// Packet/Byte Counter at addr has its packet half incremented by 1 and its
+// byte half incremented by pktLen.
+func (m *Memory) CounterInc(now sim.Time, addr uint64, pktLen uint32) sim.Time {
+	var b [16]byte
+	m.load(addr, b[:])
+	binary.BigEndian.PutUint64(b[0:8], binary.BigEndian.Uint64(b[0:8])+1)
+	binary.BigEndian.PutUint64(b[8:16], binary.BigEndian.Uint64(b[8:16])+uint64(pktLen))
+	m.store(addr, b[:])
+	done := m.occupy(m.engineFor(addr), now, serviceCycles(16, addCycles))
+	return m.complete(addr, done)
+}
+
+// Counter reads back a Packet/Byte Counter via the control plane.
+func (m *Memory) Counter(addr uint64) (packets, bytes uint64) {
+	var b [16]byte
+	m.load(addr, b[:])
+	return binary.BigEndian.Uint64(b[0:8]), binary.BigEndian.Uint64(b[8:16])
+}
+
+// FetchOp is a logical read-modify-write operator.
+type FetchOp int
+
+// Logical fetch-and-operations supported by the engines.
+const (
+	FetchAnd FetchOp = iota
+	FetchOr
+	FetchXor
+	FetchClear // clear the bits set in the operand (AND NOT)
+)
+
+// FetchAndOp atomically applies op(old, operand) to the 8-byte word at addr
+// and returns the previous value.
+func (m *Memory) FetchAndOp(now sim.Time, addr uint64, op FetchOp, operand uint64) (old uint64, done sim.Time) {
+	var b [8]byte
+	m.load(addr, b[:])
+	old = binary.BigEndian.Uint64(b[:])
+	var nv uint64
+	switch op {
+	case FetchAnd:
+		nv = old & operand
+	case FetchOr:
+		nv = old | operand
+	case FetchXor:
+		nv = old ^ operand
+	case FetchClear:
+		nv = old &^ operand
+	default:
+		panic("smem: unknown fetch op")
+	}
+	binary.BigEndian.PutUint64(b[:], nv)
+	m.store(addr, b[:])
+	return old, m.complete(addr, m.occupy(m.engineFor(addr), now, addCycles))
+}
+
+// FetchAndSwap atomically replaces the 8-byte word at addr and returns the
+// previous value.
+func (m *Memory) FetchAndSwap(now sim.Time, addr uint64, v uint64) (old uint64, done sim.Time) {
+	var b [8]byte
+	m.load(addr, b[:])
+	old = binary.BigEndian.Uint64(b[:])
+	binary.BigEndian.PutUint64(b[:], v)
+	m.store(addr, b[:])
+	return old, m.complete(addr, m.occupy(m.engineFor(addr), now, addCycles))
+}
+
+// MaskedWrite writes (old &^ mask) | (v & mask) to the 8-byte word at addr.
+func (m *Memory) MaskedWrite(now sim.Time, addr uint64, v, mask uint64) sim.Time {
+	var b [8]byte
+	m.load(addr, b[:])
+	old := binary.BigEndian.Uint64(b[:])
+	binary.BigEndian.PutUint64(b[:], old&^mask|v&mask)
+	m.store(addr, b[:])
+	return m.complete(addr, m.occupy(m.engineFor(addr), now, addCycles))
+}
+
+// Add32 atomically adds delta to the 32-bit word at addr (4-byte aligned)
+// and returns the new value. This is the primitive Trio-ML's gradient
+// summation is built on.
+func (m *Memory) Add32(now sim.Time, addr uint64, delta int32) (newVal int32, done sim.Time) {
+	var b [4]byte
+	m.load(addr, b[:])
+	nv := int32(binary.BigEndian.Uint32(b[:])) + delta
+	binary.BigEndian.PutUint32(b[:], uint32(nv))
+	m.store(addr, b[:])
+	return nv, m.complete(addr, m.occupy(m.engineFor(addr&^7), now, addCycles))
+}
+
+// Add64 atomically adds delta to the 8-byte word at addr.
+func (m *Memory) Add64(now sim.Time, addr uint64, delta uint64) (newVal uint64, done sim.Time) {
+	var b [8]byte
+	m.load(addr, b[:])
+	nv := binary.BigEndian.Uint64(b[:]) + delta
+	binary.BigEndian.PutUint64(b[:], nv)
+	m.store(addr, b[:])
+	return nv, m.complete(addr, m.occupy(m.engineFor(addr), now, addCycles))
+}
+
+// AddVector32 adds a vector of int32 deltas to consecutive 32-bit words
+// starting at addr. Each 8-byte pair of lanes is one engine add (two cycles),
+// so a 16-gradient chunk costs 8 engine-word operations — the accounting
+// behind the 6×10⁹ adds/s/PFE figure of §6.3. It returns the completion time
+// of the last word (engines work in parallel across banks).
+func (m *Memory) AddVector32(now sim.Time, addr uint64, deltas []int32) sim.Time {
+	var latest sim.Time
+	for i := 0; i < len(deltas); i += 2 {
+		wordAddr := addr + uint64(4*i)
+		var b [8]byte
+		m.load(wordAddr, b[:])
+		v0 := int32(binary.BigEndian.Uint32(b[0:4])) + deltas[i]
+		binary.BigEndian.PutUint32(b[0:4], uint32(v0))
+		if i+1 < len(deltas) {
+			v1 := int32(binary.BigEndian.Uint32(b[4:8])) + deltas[i+1]
+			binary.BigEndian.PutUint32(b[4:8], uint32(v1))
+		}
+		m.store(wordAddr, b[:])
+		done := m.complete(wordAddr, m.occupy(m.engineFor(wordAddr), now, addCycles))
+		if done > latest {
+			latest = done
+		}
+	}
+	return latest
+}
+
+// ReadVector32 reads count consecutive 32-bit words starting at addr via the
+// data path in 64-byte transactions, returning values and completion time.
+func (m *Memory) ReadVector32(now sim.Time, addr uint64, count int) ([]int32, sim.Time) {
+	out := make([]int32, count)
+	var latest sim.Time
+	for off := 0; off < 4*count; off += 64 {
+		n := 4*count - off
+		if n > 64 {
+			n = 64
+		}
+		n = (n + 7) &^ 7
+		b, done := m.Read(now, addr+uint64(off), n)
+		if done > latest {
+			latest = done
+		}
+		for i := 0; i*4 < len(b) && off/4+i < count; i++ {
+			out[off/4+i] = int32(binary.BigEndian.Uint32(b[4*i:]))
+		}
+	}
+	return out, latest
+}
+
+// Policer state occupies 24 bytes: 8-byte token count (milli-tokens),
+// 8-byte last-refill virtual timestamp, 8 bytes reserved.
+
+// PolicerConfig parameterizes a single-rate token-bucket policer.
+type PolicerConfig struct {
+	RateBytesPerSec uint64 // token refill rate
+	BurstBytes      uint64 // bucket depth
+}
+
+// PolicerInit initializes policer state at addr (control plane).
+func (m *Memory) PolicerInit(addr uint64, cfg PolicerConfig) {
+	var b [24]byte
+	binary.BigEndian.PutUint64(b[0:8], cfg.BurstBytes*1000) // start full, milli-bytes
+	binary.BigEndian.PutUint64(b[8:16], 0)
+	m.store(addr, b[:])
+}
+
+// Police charges pktLen bytes against the policer at addr and reports
+// whether the packet conforms. Refill is computed lazily from the virtual
+// clock, exactly as a hardware policer block does from its cycle counter.
+func (m *Memory) Police(now sim.Time, addr uint64, cfg PolicerConfig, pktLen uint32) (conform bool, done sim.Time) {
+	var b [24]byte
+	m.load(addr, b[:])
+	tokens := binary.BigEndian.Uint64(b[0:8])
+	last := sim.Time(binary.BigEndian.Uint64(b[8:16]))
+	if now > last {
+		elapsed := uint64(now - last)
+		// milli-bytes accrued: rate[B/s] * elapsed[ns] / 1e9 * 1000
+		tokens += cfg.RateBytesPerSec * elapsed / 1_000_000
+		if max := cfg.BurstBytes * 1000; tokens > max {
+			tokens = max
+		}
+	}
+	need := uint64(pktLen) * 1000
+	if tokens >= need {
+		tokens -= need
+		conform = true
+	}
+	binary.BigEndian.PutUint64(b[0:8], tokens)
+	binary.BigEndian.PutUint64(b[8:16], uint64(now))
+	m.store(addr, b[:])
+	return conform, m.complete(addr, m.occupy(m.engineFor(addr), now, serviceCycles(24, addCycles)))
+}

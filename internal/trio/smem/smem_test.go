@@ -1,0 +1,362 @@
+package smem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"github.com/trioml/triogo/internal/sim"
+)
+
+func TestTierLayoutIsContiguous(t *testing.T) {
+	m := New(Config{})
+	sram := m.TierOf(0)
+	if sram.Kind != TierSRAM {
+		t.Fatalf("addr 0 in %v", sram.Kind)
+	}
+	cache := m.TierOf(sram.Size)
+	if cache.Kind != TierCache {
+		t.Fatalf("addr %#x in %v", sram.Size, cache.Kind)
+	}
+	dram := m.TierOf(cache.Base + cache.Size)
+	if dram.Kind != TierDRAM {
+		t.Fatalf("after cache in %v", dram.Kind)
+	}
+}
+
+func TestTierOfOutsideSpacePanics(t *testing.T) {
+	m := New(Config{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.TierOf(1 << 62)
+}
+
+func TestAllocAlignmentAndExhaustion(t *testing.T) {
+	m := New(Config{SRAMSize: 64})
+	a := m.Alloc(TierSRAM, 5)
+	b := m.Alloc(TierSRAM, 8)
+	if a%8 != 0 || b%8 != 0 {
+		t.Fatalf("unaligned allocs %#x %#x", a, b)
+	}
+	if b != a+8 {
+		t.Fatalf("expected bump allocation, got %#x then %#x", a, b)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected exhaustion panic")
+		}
+	}()
+	m.Alloc(TierSRAM, 64)
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := New(Config{})
+	addr := m.Alloc(TierSRAM, 64)
+	data := bytes.Repeat([]byte{0xA5, 0x5A}, 32)
+	m.Write(0, addr, data)
+	got, _ := m.Read(0, addr, 64)
+	if !bytes.Equal(got, data) {
+		t.Fatal("read != write")
+	}
+}
+
+func TestTxnSizeEnforced(t *testing.T) {
+	m := New(Config{})
+	for _, bad := range []int{0, 4, 7, 9, 72} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("size %d should panic", bad)
+				}
+			}()
+			m.Read(0, 0, bad)
+		}()
+	}
+	for _, ok := range []int{8, 16, 24, 64} {
+		if got, _ := m.Read(0, 0, ok); len(got) != ok {
+			t.Fatalf("size %d read %d bytes", ok, len(got))
+		}
+	}
+}
+
+func TestReadLatencyByTier(t *testing.T) {
+	m := New(Config{})
+	sramAddr := m.Alloc(TierSRAM, 8)
+	dramAddr := m.Alloc(TierDRAM, 8)
+	_, sramDone := m.Read(0, sramAddr, 8)
+	_, dramDone := m.Read(0, dramAddr, 8)
+	if sramDone < 70*sim.Nanosecond || sramDone > 80*sim.Nanosecond {
+		t.Fatalf("SRAM read latency %v, want ≈70ns", sramDone)
+	}
+	if dramDone < 400*sim.Nanosecond || dramDone > 410*sim.Nanosecond {
+		t.Fatalf("DRAM read latency %v, want ≈400ns", dramDone)
+	}
+}
+
+func TestPagesAreZeroInitialized(t *testing.T) {
+	m := New(Config{})
+	got, _ := m.Read(0, m.tiers[TierDRAM].Base+12345*8, 8)
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("fresh memory not zero")
+		}
+	}
+}
+
+func TestCounterIncMatchesFilterExample(t *testing.T) {
+	// §3.2: each Packet/Byte Counter is 16 bytes; CounterIncPhys bumps the
+	// packet half by 1 and the byte half by pkt_len.
+	m := New(Config{})
+	base := m.Alloc(TierSRAM, 32) // two counters, as in Fig. 6
+	m.CounterInc(0, base, 100)
+	m.CounterInc(0, base, 50)
+	m.CounterInc(0, base+16, 1500)
+	pkts, byteCnt := m.Counter(base)
+	if pkts != 2 || byteCnt != 150 {
+		t.Fatalf("counter 0 = (%d,%d), want (2,150)", pkts, byteCnt)
+	}
+	pkts, byteCnt = m.Counter(base + 16)
+	if pkts != 1 || byteCnt != 1500 {
+		t.Fatalf("counter 1 = (%d,%d), want (1,1500)", pkts, byteCnt)
+	}
+}
+
+func TestFetchAndOps(t *testing.T) {
+	m := New(Config{})
+	addr := m.Alloc(TierSRAM, 8)
+	m.WriteUint64(0, addr, 0b1100)
+	old, _ := m.FetchAndOp(0, addr, FetchOr, 0b0011)
+	if old != 0b1100 {
+		t.Fatalf("or: old = %b", old)
+	}
+	old, _ = m.FetchAndOp(0, addr, FetchAnd, 0b1010)
+	if old != 0b1111 {
+		t.Fatalf("and: old = %b", old)
+	}
+	old, _ = m.FetchAndOp(0, addr, FetchXor, 0b1111)
+	if old != 0b1010 {
+		t.Fatalf("xor: old = %b", old)
+	}
+	old, _ = m.FetchAndOp(0, addr, FetchClear, 0b0100)
+	if old != 0b0101 {
+		t.Fatalf("clear: old = %b", old)
+	}
+	v, _ := m.ReadUint64(0, addr)
+	if v != 0b0001 {
+		t.Fatalf("final = %b", v)
+	}
+}
+
+func TestFetchAndSwap(t *testing.T) {
+	m := New(Config{})
+	addr := m.Alloc(TierSRAM, 8)
+	m.WriteUint64(0, addr, 111)
+	old, _ := m.FetchAndSwap(0, addr, 222)
+	if old != 111 {
+		t.Fatalf("old = %d", old)
+	}
+	v, _ := m.ReadUint64(0, addr)
+	if v != 222 {
+		t.Fatalf("new = %d", v)
+	}
+}
+
+func TestMaskedWrite(t *testing.T) {
+	m := New(Config{})
+	addr := m.Alloc(TierSRAM, 8)
+	m.WriteUint64(0, addr, 0xFFFF_FFFF_FFFF_FFFF)
+	m.MaskedWrite(0, addr, 0x0000_0000_1234_0000, 0x0000_0000_FFFF_0000)
+	v, _ := m.ReadUint64(0, addr)
+	if v != 0xFFFF_FFFF_1234_FFFF {
+		t.Fatalf("v = %#x", v)
+	}
+}
+
+func TestAdd32SignedWraparound(t *testing.T) {
+	m := New(Config{})
+	addr := m.Alloc(TierSRAM, 8)
+	if nv, _ := m.Add32(0, addr, -5); nv != -5 {
+		t.Fatalf("nv = %d", nv)
+	}
+	if nv, _ := m.Add32(0, addr, 10); nv != 5 {
+		t.Fatalf("nv = %d", nv)
+	}
+}
+
+func TestAddVector32AggregatesLikeTrioML(t *testing.T) {
+	m := New(Config{})
+	addr := m.Alloc(TierDRAM, 4*16)
+	a := []int32{1, -2, 3, -4, 5, -6, 7, -8, 9, -10, 11, -12, 13, -14, 15, -16}
+	b := []int32{10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120, 130, 140, 150, 160}
+	m.AddVector32(0, addr, a)
+	m.AddVector32(0, addr, b)
+	got, _ := m.ReadVector32(0, addr, 16)
+	for i := range a {
+		if got[i] != a[i]+b[i] {
+			t.Fatalf("lane %d = %d, want %d", i, got[i], a[i]+b[i])
+		}
+	}
+}
+
+func TestAddVector32OddCount(t *testing.T) {
+	m := New(Config{})
+	addr := m.Alloc(TierSRAM, 32)
+	m.AddVector32(0, addr, []int32{1, 2, 3})
+	got, _ := m.ReadVector32(0, addr, 4)
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 || got[3] != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestAddVectorCommutesProperty(t *testing.T) {
+	// Aggregation order must not matter: sum(a then b) == sum(b then a).
+	f := func(a, b []int32) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		if n == 0 {
+			return true
+		}
+		a, b = a[:n], b[:n]
+		m1 := New(Config{})
+		m2 := New(Config{})
+		a1 := m1.Alloc(TierSRAM, uint64(4*n))
+		a2 := m2.Alloc(TierSRAM, uint64(4*n))
+		m1.AddVector32(0, a1, a)
+		m1.AddVector32(0, a1, b)
+		m2.AddVector32(0, a2, b)
+		m2.AddVector32(0, a2, a)
+		g1, _ := m1.ReadVector32(0, a1, n)
+		g2, _ := m2.ReadVector32(0, a2, n)
+		for i := range g1 {
+			if g1[i] != g2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineSerializationBackpressure(t *testing.T) {
+	// Hammer one address: every op lands on the same engine and the engine
+	// serializes them at 2 cycles per add, so the k-th completes no earlier
+	// than 2k cycles + tier latency.
+	m := New(Config{})
+	addr := m.Alloc(TierSRAM, 8)
+	var last sim.Time
+	const n = 100
+	for i := 0; i < n; i++ {
+		_, last = m.Add32(0, addr, 1)
+	}
+	wantMin := sim.Time(2*n)*m.Config().CycleTime + m.TierOf(addr).Latency
+	if last < wantMin {
+		t.Fatalf("last completion %v, want >= %v", last, wantMin)
+	}
+	stats := m.Stats()
+	eng := stats[(addr/8)%uint64(len(stats))]
+	if eng.Ops != n || eng.Backlogged != n-1 {
+		t.Fatalf("engine stats = %+v", eng)
+	}
+}
+
+func TestEnginesParallelAcrossBanks(t *testing.T) {
+	// Spreading ops across 12 engines must NOT serialize: the completion
+	// time of 12 simultaneous adds to distinct banks equals one add each.
+	m := New(Config{})
+	base := m.Alloc(TierSRAM, 12*8)
+	var worst sim.Time
+	for i := uint64(0); i < 12; i++ {
+		_, done := m.Add64(0, base+i*8, 1)
+		if done > worst {
+			worst = done
+		}
+	}
+	want := sim.Time(addCycles)*m.Config().CycleTime + m.TierOf(base).Latency
+	if worst != want {
+		t.Fatalf("parallel adds completed at %v, want %v", worst, want)
+	}
+}
+
+func TestSingleEngineAblationSerializes(t *testing.T) {
+	// DESIGN ablation: with one engine the same parallel workload serializes.
+	m := New(Config{NumRMWEngines: 1})
+	base := m.Alloc(TierSRAM, 12*8)
+	var worst sim.Time
+	for i := uint64(0); i < 12; i++ {
+		_, done := m.Add64(0, base+i*8, 1)
+		if done > worst {
+			worst = done
+		}
+	}
+	want := sim.Time(12*addCycles)*m.Config().CycleTime + m.TierOf(base).Latency
+	if worst != want {
+		t.Fatalf("serialized adds completed at %v, want %v", worst, want)
+	}
+}
+
+func TestPolicerConformsWithinRate(t *testing.T) {
+	m := New(Config{})
+	addr := m.Alloc(TierSRAM, 24)
+	cfg := PolicerConfig{RateBytesPerSec: 1_000_000, BurstBytes: 1500}
+	m.PolicerInit(addr, cfg)
+	if ok, _ := m.Police(0, addr, cfg, 1500); !ok {
+		t.Fatal("burst-sized packet should conform on a full bucket")
+	}
+	if ok, _ := m.Police(0, addr, cfg, 1500); ok {
+		t.Fatal("second immediate packet should exceed")
+	}
+	// After 1.5 ms at 1 MB/s, 1500 bytes of tokens have accrued.
+	now := sim.Time(1500) * sim.Microsecond
+	if ok, _ := m.Police(now, addr, cfg, 1500); !ok {
+		t.Fatal("packet after refill should conform")
+	}
+}
+
+func TestPolicerTokensCapAtBurst(t *testing.T) {
+	m := New(Config{})
+	addr := m.Alloc(TierSRAM, 24)
+	cfg := PolicerConfig{RateBytesPerSec: 1_000_000_000, BurstBytes: 100}
+	m.PolicerInit(addr, cfg)
+	// A long idle period must not accumulate more than one burst.
+	now := 10 * sim.Second
+	if ok, _ := m.Police(now, addr, cfg, 100); !ok {
+		t.Fatal("first packet conforms")
+	}
+	if ok, _ := m.Police(now, addr, cfg, 100); ok {
+		t.Fatal("tokens exceeded burst cap")
+	}
+}
+
+func TestReadVector32CrossesTxnBoundary(t *testing.T) {
+	m := New(Config{})
+	addr := m.Alloc(TierSRAM, 4*40)
+	vals := make([]int32, 40) // 160 bytes: 3 transactions
+	for i := range vals {
+		vals[i] = int32(i * i)
+	}
+	m.AddVector32(0, addr, vals)
+	got, _ := m.ReadVector32(0, addr, 40)
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("lane %d = %d", i, got[i])
+		}
+	}
+}
+
+func TestRawBypassesAccounting(t *testing.T) {
+	m := New(Config{})
+	m.WriteRaw(64, []byte{1, 2, 3})
+	if got := m.ReadRaw(64, 3); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("raw = %v", got)
+	}
+	if m.TotalOps() != 0 {
+		t.Fatal("raw access charged an engine")
+	}
+}

@@ -1,0 +1,177 @@
+package trioml
+
+import (
+	"testing"
+
+	"github.com/trioml/triogo/internal/sim"
+)
+
+// deadWorkerRig sets up four workers of which worker 3 is permanently dead,
+// with fast straggler detection and slow advanced analysis running.
+func deadWorkerRig(t *testing.T, threshold uint64) (*rig, func()) {
+	t.Helper()
+	cfg := fourWorkerJob()
+	cfg.BlockExpiry = 2 * sim.Millisecond
+	r := newRig(t, cfg)
+	stopFast := r.agg.StartStragglerDetection(20, 2*sim.Millisecond)
+	stopSlow := r.agg.StartAdvancedMitigation(AdvancedConfig{
+		AnalyzePeriod:  20 * sim.Millisecond,
+		EventThreshold: threshold,
+	})
+	return r, func() { stopFast(); stopSlow() }
+}
+
+// sendAlive has workers 0..2 contribute block b (worker 3 stays dark).
+func sendAlive(r *rig, b uint32) {
+	for w := 0; w < 3; w++ {
+		r.send(w, b, 1, seqGrads(32, 1))
+	}
+}
+
+func TestPermanentStragglerDemoted(t *testing.T) {
+	r, stop := deadWorkerRig(t, 5)
+	defer stop()
+	var demotions []uint8
+	r.agg.OnDemotion = func(job, src uint8, at sim.Time) {
+		demotions = append(demotions, src)
+	}
+	// Ten blocks, 3 ms apart: each ages out against the dead worker,
+	// accumulating straggler events until the analyzer demotes it.
+	for b := uint32(0); b < 10; b++ {
+		b := b
+		r.eng.At(sim.Time(b)*3*sim.Millisecond, func() { sendAlive(r, b) })
+	}
+	r.eng.RunUntil(60 * sim.Millisecond)
+	if len(demotions) != 1 || demotions[0] != 3 {
+		t.Fatalf("demotions = %v, want worker 3", demotions)
+	}
+	if !r.agg.Demoted(1, 3) {
+		t.Fatal("Demoted() disagrees")
+	}
+	if r.agg.Stats().SourcesDemoted != 1 {
+		t.Fatalf("stats = %+v", r.agg.Stats())
+	}
+}
+
+func TestBlocksCompleteWithoutDemotedSource(t *testing.T) {
+	r, stop := deadWorkerRig(t, 5)
+	defer stop()
+	for b := uint32(0); b < 10; b++ {
+		b := b
+		r.eng.At(sim.Time(b)*3*sim.Millisecond, func() { sendAlive(r, b) })
+	}
+	r.eng.RunUntil(60 * sim.Millisecond)
+	if !r.agg.Demoted(1, 3) {
+		t.Fatal("precondition: not demoted")
+	}
+	degradedBefore := r.agg.Stats().BlocksDegraded
+	// Post-demotion blocks complete promptly, with src_cnt 3 and no
+	// timeout penalty.
+	start := r.eng.Now()
+	sendAlive(r, 100)
+	r.eng.RunUntil(start + 1*sim.Millisecond)
+	last := r.results[len(r.results)-1]
+	if last.hdr.BlockID != 100 {
+		t.Fatalf("block 100 not completed within 1 ms of the last packet (last result: %+v)", last.hdr)
+	}
+	if last.hdr.SrcCnt != 3 || last.hdr.Degraded {
+		t.Fatalf("post-demotion result = %+v, want full 3-source completion", last.hdr)
+	}
+	if r.agg.Stats().BlocksDegraded != degradedBefore {
+		t.Fatal("post-demotion block still aged out")
+	}
+}
+
+func TestDemotionNotificationReachesWorkers(t *testing.T) {
+	r, stop := deadWorkerRig(t, 3)
+	defer stop()
+	for b := uint32(0); b < 8; b++ {
+		b := b
+		r.eng.At(sim.Time(b)*3*sim.Millisecond, func() { sendAlive(r, b) })
+	}
+	r.eng.RunUntil(60 * sim.Millisecond)
+	notifications := 0
+	for _, res := range r.results {
+		if res.hdr.AgeOp == NotifyDemoted {
+			notifications++
+			if res.hdr.SrcCnt != 3 {
+				t.Fatalf("notification names source %d, want 3", res.hdr.SrcCnt)
+			}
+		}
+	}
+	// Multicast to the four result ports.
+	if notifications != 4 {
+		t.Fatalf("notifications = %d, want 4 (one per port)", notifications)
+	}
+}
+
+func TestTemporaryStragglerNotDemoted(t *testing.T) {
+	// Worker 3 misses only two blocks (below the threshold of 5) and then
+	// participates again: no demotion.
+	r, stop := deadWorkerRig(t, 5)
+	defer stop()
+	for b := uint32(0); b < 2; b++ {
+		b := b
+		r.eng.At(sim.Time(b)*3*sim.Millisecond, func() { sendAlive(r, b) })
+	}
+	for b := uint32(2); b < 10; b++ {
+		b := b
+		r.eng.At(sim.Time(b)*3*sim.Millisecond, func() {
+			sendAlive(r, b)
+			r.send(3, b, 1, seqGrads(32, 1))
+		})
+	}
+	r.eng.RunUntil(80 * sim.Millisecond)
+	if r.agg.Demoted(1, 3) {
+		t.Fatal("temporary straggler was demoted")
+	}
+	if r.agg.Stats().BlocksDegraded != 2 {
+		t.Fatalf("stats = %+v", r.agg.Stats())
+	}
+}
+
+func TestReinstateSource(t *testing.T) {
+	r, stop := deadWorkerRig(t, 3)
+	defer stop()
+	for b := uint32(0); b < 6; b++ {
+		b := b
+		r.eng.At(sim.Time(b)*3*sim.Millisecond, func() { sendAlive(r, b) })
+	}
+	r.eng.RunUntil(60 * sim.Millisecond)
+	if !r.agg.Demoted(1, 3) {
+		t.Fatal("precondition: not demoted")
+	}
+	if err := r.agg.ReinstateSource(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if r.agg.Demoted(1, 3) {
+		t.Fatal("still demoted after reinstatement")
+	}
+	// The job waits for worker 3 again: a 3-source block stays open.
+	before := len(r.results)
+	sendAlive(r, 200)
+	r.eng.RunUntil(r.eng.Now() + 1*sim.Millisecond)
+	for _, res := range r.results[before:] {
+		if res.hdr.BlockID == 200 && !res.hdr.Degraded {
+			t.Fatal("block completed without the reinstated source")
+		}
+	}
+	r.send(3, 200, 1, seqGrads(32, 1))
+	r.eng.RunUntil(r.eng.Now() + 1*sim.Millisecond)
+	found := false
+	for _, res := range r.results[before:] {
+		if res.hdr.BlockID == 200 && res.hdr.SrcCnt == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("block 200 did not complete with all four sources")
+	}
+	// Reinstating twice errors.
+	if err := r.agg.ReinstateSource(1, 3); err == nil {
+		t.Fatal("double reinstatement accepted")
+	}
+	if err := r.agg.ReinstateSource(9, 0); err == nil {
+		t.Fatal("unknown job accepted")
+	}
+}

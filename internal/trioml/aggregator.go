@@ -1,0 +1,491 @@
+package trioml
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/trioml/triogo/internal/packet"
+	"github.com/trioml/triogo/internal/sim"
+	"github.com/trioml/triogo/internal/trio/pfe"
+	"github.com/trioml/triogo/internal/trio/smem"
+)
+
+// Instruction cost model, calibrated to the paper's Microcode analysis
+// (§6.3): the program is ≈60 static instructions; the tail-aggregation loop
+// runs ≈1.2 instructions per gradient; the result-build loop runs once per
+// block and is cheaper per gradient.
+const (
+	// StaticInstructions is the static size of the aggregation program.
+	StaticInstructions = 60
+
+	instrPacketOverhead = 10 // parse, key build, hash lookup glue
+	instrBlockCreate    = 12 // record init, job update, buffer hookup
+	instrPerChunk       = 20 // 16 gradients per 64-byte chunk ⇒ 1.25 instr/gradient
+	chunkGrads          = 16 // 64-byte tail chunks (Fig. 10)
+	resultChunkGrads    = 64 // 256-byte result-build chunks (Fig. 10)
+	instrPerResultChunk = 16 // once per block, "uses less processing time"
+	instrResultHeader   = 12 // rebuild IP/UDP/Trio-ML headers from records
+)
+
+// RecommendedPFEConfig returns a PFE configuration matching the measured
+// 5th-generation operating point: a thread has one instruction in flight at
+// a time, so its effective per-instruction latency is the PPE pipeline depth
+// (≈20 cycles at 1 GHz), and the shared memory runs 12 RMW engines.
+func RecommendedPFEConfig() pfe.Config {
+	cfg := pfe.DefaultConfig()
+	cfg.CyclesPerInst = 20
+	cfg.Mem = smem.Config{NumRMWEngines: 12}
+	return cfg
+}
+
+// JobConfig is the control-plane description of one aggregation job.
+type JobConfig struct {
+	JobID   uint8
+	Sources []uint8 // expected src_ids (workers, or lower-level PFEs)
+
+	BlockCntMax  int      // max concurrent blocks (memory sharing cap); default 4095
+	BlockGradMax int      // max gradients per block; default 1024
+	BlockExpiry  sim.Time // straggler timeout; default 10 ms (rounded to ms in the record)
+
+	// Result routing. Single-level jobs multicast results to ResultPorts.
+	// First-level jobs in a hierarchy instead unicast upward: set
+	// UpstreamPort >= 0 and the src_id this aggregator contributes as.
+	ResultSpec    packet.UDPSpec
+	ResultPorts   []int
+	UpstreamPort  int // -1 when unused
+	UpstreamSrcID uint8
+
+	// DistributePorts re-multicast Result packets (src_id == ResultSrcID)
+	// arriving from an upper-level aggregator to local workers.
+	DistributePorts []int
+}
+
+// Stats counts aggregator activity.
+type Stats struct {
+	Packets          uint64
+	NonAggPkts       uint64
+	NoJobDrops       uint64
+	NoBufferDrops    uint64
+	StaleDrops       uint64
+	Duplicates       uint64
+	BlocksCreated    uint64
+	BlocksCompleted  uint64
+	BlocksDegraded   uint64 // straggler-mitigated partial results
+	SourcesDemoted   uint64 // permanent stragglers removed (§5 advanced mitigation)
+	ResultsEmitted   uint64
+	Distributed      uint64
+	GradsAggregated  uint64
+	TimerScans       uint64
+	TimerScanRecords uint64
+}
+
+// jobState is the control-plane mirror of an installed job: the addresses
+// behind the in-memory records plus routing config. The authoritative
+// aggregation state lives in the PFE's shared memory and hash table.
+type jobState struct {
+	cfg     JobConfig
+	recAddr uint64
+
+	freeBufs []uint64          // aggregation buffer pool (DMEM)
+	freeRecs []uint64          // block record pool
+	bufOf    map[uint64]uint64 // hash key -> buffer, for pool recycling
+	demoted  map[uint8]bool    // sources removed by advanced mitigation
+}
+
+// Aggregator is the Trio-ML application on one PFE.
+type Aggregator struct {
+	pfe  *pfe.PFE
+	jobs map[uint8]*jobState
+
+	stats Stats
+
+	// Fallback handles non-aggregation traffic; nil drops it.
+	Fallback pfe.App
+	// OnAggregated observes each aggregated packet: arrival, thread
+	// completion time, and gradient count (Fig. 15 instrumentation).
+	OnAggregated func(arrival, done sim.Time, grads int)
+	// OnResult observes each emitted result.
+	OnResult func(hdr packet.TrioML, at sim.Time)
+	// OnDemotion observes permanent-straggler demotions (§5 advanced
+	// mitigation).
+	OnDemotion func(jobID, src uint8, at sim.Time)
+
+	advanced *advancedState
+}
+
+// New installs a Trio-ML aggregator as p's application.
+func New(p *pfe.PFE) *Aggregator {
+	a := &Aggregator{pfe: p, jobs: make(map[uint8]*jobState)}
+	p.SetApp(a)
+	return a
+}
+
+// Stats returns a snapshot of the counters.
+func (a *Aggregator) Stats() Stats { return a.stats }
+
+// InstallJob performs the control-plane setup of §4: it writes the job
+// record, registers it in the aggregation hash table under (job_id, -1), and
+// provisions the block-record and aggregation-buffer pools.
+func (a *Aggregator) InstallJob(cfg JobConfig) error {
+	if _, dup := a.jobs[cfg.JobID]; dup {
+		return fmt.Errorf("trioml: job %d already installed", cfg.JobID)
+	}
+	if len(cfg.Sources) == 0 || len(cfg.Sources) > MaxSources {
+		return fmt.Errorf("trioml: job needs 1..%d sources, got %d", MaxSources, len(cfg.Sources))
+	}
+	if cfg.BlockCntMax == 0 {
+		cfg.BlockCntMax = 4095
+	}
+	if cfg.BlockCntMax > 4095 {
+		return fmt.Errorf("trioml: block_cnt_max %d exceeds 12-bit field", cfg.BlockCntMax)
+	}
+	if cfg.BlockGradMax == 0 {
+		cfg.BlockGradMax = packet.MaxGradientsPerPacket
+	}
+	if cfg.BlockGradMax > 4095 {
+		return fmt.Errorf("trioml: block_grad_max %d exceeds 12-bit field", cfg.BlockGradMax)
+	}
+	if cfg.BlockExpiry == 0 {
+		cfg.BlockExpiry = 10 * sim.Millisecond
+	}
+	expiryMs := int64(cfg.BlockExpiry / sim.Millisecond)
+	if expiryMs < 1 || expiryMs > 255 {
+		return fmt.Errorf("trioml: block expiry %v outside the record's 1..255 ms range", cfg.BlockExpiry)
+	}
+	rec := JobRecord{
+		BlockCntMax:  uint16(cfg.BlockCntMax),
+		BlockGradMax: uint16(cfg.BlockGradMax),
+		BlockExpMs:   uint8(expiryMs),
+		OutSrcAddr:   binary.BigEndian.Uint32(cfg.ResultSpec.SrcIP[:]),
+		OutDstAddr:   binary.BigEndian.Uint32(cfg.ResultSpec.DstIP[:]),
+		SrcCnt:       uint8(len(cfg.Sources)),
+	}
+	seen := map[uint8]bool{}
+	for _, s := range cfg.Sources {
+		if s == ResultSrcID {
+			return fmt.Errorf("trioml: source id %#x is reserved for results", ResultSrcID)
+		}
+		if seen[s] {
+			return fmt.Errorf("trioml: duplicate source id %d", s)
+		}
+		seen[s] = true
+		setMaskBit(&rec.SrcMask, s)
+	}
+
+	js := &jobState{cfg: cfg, bufOf: make(map[uint64]uint64)}
+	mem := a.pfe.Mem
+	js.recAddr = mem.Alloc(smem.TierSRAM, recordTxnBytes)
+	buf := make([]byte, recordTxnBytes)
+	rec.encode(buf)
+	mem.WriteRaw(js.recAddr, buf)
+
+	// Block records live in SRAM (hot, small); aggregation buffers live in
+	// the DRAM-backed tier ("the aggregation buffer in the Shared Memory
+	// System (DMEM)", Fig. 10).
+	for i := 0; i < cfg.BlockCntMax; i++ {
+		js.freeRecs = append(js.freeRecs, mem.Alloc(smem.TierSRAM, recordTxnBytes))
+		js.freeBufs = append(js.freeBufs, mem.Alloc(smem.TierDRAM, uint64(4*cfg.BlockGradMax)))
+	}
+
+	if ok, _ := a.pfe.Hash.Insert(0, Key(cfg.JobID, JobBlockID), js.recAddr); !ok {
+		return fmt.Errorf("trioml: hash collision installing job %d", cfg.JobID)
+	}
+	a.jobs[cfg.JobID] = js
+	return nil
+}
+
+// RemoveJob tears a job down (control plane). Outstanding blocks are
+// discarded.
+func (a *Aggregator) RemoveJob(jobID uint8) {
+	js := a.jobs[jobID]
+	if js == nil {
+		return
+	}
+	a.pfe.Hash.Delete(0, Key(jobID, JobBlockID))
+	for key := range js.bufOf {
+		a.pfe.Hash.Delete(0, key)
+	}
+	delete(a.jobs, jobID)
+}
+
+// Process implements pfe.App: the Fig. 10 workflow.
+func (a *Aggregator) Process(ctx *pfe.Ctx) {
+	ctx.ChargeInstr(instrPacketOverhead)
+	f, err := packet.Decode(ctx.Head())
+	if err != nil || !f.IsTrioML() {
+		a.stats.NonAggPkts++
+		if a.Fallback != nil {
+			a.Fallback.Process(ctx)
+			return
+		}
+		ctx.Drop()
+		return
+	}
+	h := f.ML
+	if h.SrcID == ResultSrcID {
+		a.distribute(ctx, h)
+		return
+	}
+	a.stats.Packets++
+
+	js := a.jobs[h.JobID]
+	blockKey := Key(h.JobID, h.BlockID)
+
+	// Lookup block record (job_id, block_id).
+	recAddr, found := ctx.HashLookup(blockKey)
+	var rec BlockRecord
+	creating := false
+	if found {
+		rec = decodeBlock(ctx.MemRead(recAddr, recordTxnBytes))
+		switch {
+		case h.GenID == rec.GenID && maskBit(&rec.RcvdMask, h.SrcID):
+			a.stats.Duplicates++
+			ctx.Drop()
+			return
+		case h.GenID != rec.GenID && genOlder(h.GenID, rec.GenID):
+			// A straggler's contribution to an iteration that already aged
+			// out and was superseded.
+			a.stats.StaleDrops++
+			ctx.Drop()
+			return
+		case h.GenID != rec.GenID:
+			// The block id is being reused by a newer iteration: restart
+			// the record in place; the first source's writes (below)
+			// overwrite the stale buffer.
+			rec.GenID = h.GenID
+			rec.RcvdCnt = 0
+			rec.RcvdMask = [4]uint64{}
+			rec.GradCnt = h.GradCnt
+			rec.BlockStartTime = ctx.Now()
+			creating = true
+		}
+	} else {
+		// Block not found: consult the job record (job_id, -1).
+		jobAddr, ok := ctx.HashLookup(Key(h.JobID, JobBlockID))
+		if !ok || js == nil {
+			a.stats.NoJobDrops++
+			ctx.Drop()
+			return
+		}
+		job := decodeJob(ctx.MemRead(jobAddr, recordTxnBytes))
+		if !maskBit(&job.SrcMask, h.SrcID) || int(h.GradCnt) > int(job.BlockGradMax) || h.GradCnt == 0 {
+			a.stats.NonAggPkts++
+			ctx.Drop()
+			return
+		}
+		if int(job.BlockCurrCnt) >= int(job.BlockCntMax) || len(js.freeBufs) == 0 {
+			a.stats.NoBufferDrops++
+			ctx.Drop()
+			return
+		}
+		ctx.ChargeInstr(instrBlockCreate)
+		recAddr = js.freeRecs[len(js.freeRecs)-1]
+		js.freeRecs = js.freeRecs[:len(js.freeRecs)-1]
+		bufAddr := js.freeBufs[len(js.freeBufs)-1]
+		js.freeBufs = js.freeBufs[:len(js.freeBufs)-1]
+		js.bufOf[blockKey] = bufAddr
+		rec = BlockRecord{
+			BlockExpMs:     job.BlockExpMs,
+			BlockStartTime: ctx.Now(),
+			JobCtxPAddr:    uint32(jobAddr),
+			AggrPAddr:      uint32(bufAddr),
+			GradCnt:        h.GradCnt,
+			GenID:          h.GenID,
+		}
+		ctx.HashInsert(blockKey, recAddr)
+		// Job bookkeeping: one in-memory update, asynchronous.
+		job.BlockCurrCnt++
+		job.BlockTotalCnt++
+		a.writeJob(ctx, jobAddr, job)
+		creating = true
+		a.stats.BlocksCreated++
+	}
+
+	if int(h.GradCnt) != int(rec.GradCnt) {
+		// All sources of a block must agree on its size.
+		a.stats.NonAggPkts++
+		ctx.Drop()
+		return
+	}
+
+	// Aggregate this packet's gradients into the block buffer: phase one
+	// from the head, phase two looping over 64-byte tail chunks (Fig. 10).
+	firstSource := rec.RcvdCnt == 0 && creating
+	a.aggregateGradients(ctx, f, h, uint64(rec.AggrPAddr), firstSource)
+
+	setMaskBit(&rec.RcvdMask, h.SrcID)
+	rec.RcvdCnt++
+	a.stats.GradsAggregated += uint64(h.GradCnt)
+
+	// Completeness check against the job record's source count.
+	job := decodeJob(ctx.MemRead(uint64(rec.JobCtxPAddr), recordTxnBytes))
+	if rec.RcvdCnt >= job.SrcCnt {
+		a.finishBlock(ctx, js, blockKey, recAddr, rec, job, false)
+	} else {
+		a.writeBlock(ctx, recAddr, rec)
+	}
+	ctx.Consume()
+	if a.OnAggregated != nil {
+		a.OnAggregated(ctx.Packet().Arrival, ctx.Now(), int(h.GradCnt))
+	}
+}
+
+// genOlder reports whether a precedes b in modular 16-bit generation order.
+func genOlder(a, b uint16) bool { return int16(a-b) < 0 }
+
+// aggregateGradients streams the packet's gradient bytes — head first, then
+// the tail in 64-byte chunks — and issues one RMW engine vector op per
+// 16-gradient batch. The first source of a block writes (initializing the
+// buffer); later sources add.
+func (a *Aggregator) aggregateGradients(ctx *pfe.Ctx, f *packet.Frame, h *packet.TrioML, bufAddr uint64, firstSource bool) {
+	hdrLen := packet.EthernetLen + f.IP.HeaderLen() + packet.UDPLen + packet.TrioMLHeaderLen
+	total := 4 * int(h.GradCnt)
+	head := ctx.Head()
+
+	var carry []byte // partial gradient straddling head/tail or chunk edges
+	gradIdx := 0
+	batch := make([]int32, 0, chunkGrads)
+
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		addr := bufAddr + uint64(4*(gradIdx-len(batch)))
+		if firstSource {
+			buf := make([]byte, 4*len(batch))
+			packet.PutGradients(buf, batch)
+			// Pad to the 8-byte transaction grain.
+			if len(buf)%8 != 0 {
+				buf = append(buf, make([]byte, 8-len(buf)%8)...)
+			}
+			ctx.MemWrite(addr, buf, true)
+		} else {
+			ctx.AddVector32(addr, batch)
+		}
+		batch = batch[:0]
+	}
+	consume := func(b []byte) {
+		carry = append(carry, b...)
+		for len(carry) >= 4 && gradIdx*4 < total {
+			batch = append(batch, int32(binary.BigEndian.Uint32(carry)))
+			carry = carry[4:]
+			gradIdx++
+			if len(batch) == chunkGrads {
+				ctx.ChargeInstr(instrPerChunk)
+				flush()
+			}
+		}
+	}
+
+	if hdrLen < len(head) {
+		consume(head[hdrLen:])
+	}
+	// Phase two: tail loop, 64 bytes per XTXN.
+	for off := 0; off < ctx.TailLen() && gradIdx*4 < total; off += 64 {
+		consume(ctx.ReadTail(off, 64))
+	}
+	if len(batch) > 0 {
+		ctx.ChargeInstr(instrPerChunk * len(batch) / chunkGrads)
+		flush()
+	}
+}
+
+// finishBlock generates the Result packet, recycles the block's resources,
+// and updates the job record. Degraded results carry the straggler
+// signalling fields of §5.
+func (a *Aggregator) finishBlock(ctx *pfe.Ctx, js *jobState, blockKey uint64, recAddr uint64, rec BlockRecord, job JobRecord, degraded bool) {
+	// Result-build loop: pull 256-byte chunks from the aggregation buffer
+	// and write them to the Packet Buffer (Fig. 10).
+	grads := make([]int32, 0, rec.GradCnt)
+	for off := 0; off < int(rec.GradCnt); off += resultChunkGrads {
+		n := int(rec.GradCnt) - off
+		if n > resultChunkGrads {
+			n = resultChunkGrads
+		}
+		ctx.ChargeInstr(instrPerResultChunk)
+		grads = append(grads, ctx.ReadVector32(uint64(rec.AggrPAddr)+uint64(4*off), n)...)
+	}
+	ctx.ChargeInstr(instrResultHeader)
+
+	_, blockID := SplitKey(blockKey)
+	hdr := packet.TrioML{
+		JobID:    js.cfg.JobID,
+		BlockID:  blockID,
+		GenID:    rec.GenID,
+		SrcCnt:   rec.RcvdCnt,
+		GradCnt:  rec.GradCnt,
+		Degraded: degraded,
+	}
+	if degraded {
+		hdr.AgeOp = 1
+	}
+	spec := js.cfg.ResultSpec
+	if js.cfg.UpstreamPort >= 0 {
+		// Hierarchical first level: contribute upward as one source.
+		hdr.SrcID = js.cfg.UpstreamSrcID
+		hdr.Degraded = degraded
+		frame := packet.BuildTrioML(spec, hdr, grads)
+		ctx.Emit(js.cfg.UpstreamPort, frame)
+	} else {
+		hdr.SrcID = ResultSrcID
+		frame := packet.BuildTrioML(spec, hdr, grads)
+		for _, p := range js.cfg.ResultPorts {
+			ctx.Emit(p, frame)
+		}
+	}
+	a.stats.ResultsEmitted++
+	if degraded {
+		a.stats.BlocksDegraded++
+	} else {
+		a.stats.BlocksCompleted++
+	}
+	if a.OnResult != nil {
+		a.OnResult(hdr, ctx.Now())
+	}
+
+	// Recycle: delete the record, free the buffer, update the job.
+	ctx.HashDelete(blockKey)
+	js.freeRecs = append(js.freeRecs, recAddr)
+	if buf, ok := js.bufOf[blockKey]; ok {
+		js.freeBufs = append(js.freeBufs, buf)
+		delete(js.bufOf, blockKey)
+	}
+	if job.BlockCurrCnt > 0 {
+		job.BlockCurrCnt--
+	}
+	a.writeJob(ctx, uint64(rec.JobCtxPAddr), job)
+}
+
+// distribute re-multicasts a Result packet arriving from an upper-level
+// aggregator to this PFE's local workers.
+func (a *Aggregator) distribute(ctx *pfe.Ctx, h *packet.TrioML) {
+	js := a.jobs[h.JobID]
+	if js == nil || len(js.cfg.DistributePorts) == 0 {
+		a.stats.NonAggPkts++
+		ctx.Drop()
+		return
+	}
+	ctx.ChargeInstr(4)
+	frame := ctx.FullFrame()
+	for _, p := range js.cfg.DistributePorts {
+		ctx.Emit(p, frame)
+	}
+	a.stats.Distributed++
+	ctx.Consume()
+}
+
+// writeBlock persists a block record (asynchronous 64-byte write-back).
+func (a *Aggregator) writeBlock(ctx *pfe.Ctx, addr uint64, rec BlockRecord) {
+	b := make([]byte, recordTxnBytes)
+	rec.encode(b)
+	ctx.MemWrite(addr, b, true)
+}
+
+// writeJob persists a job record.
+func (a *Aggregator) writeJob(ctx *pfe.Ctx, addr uint64, job JobRecord) {
+	b := make([]byte, recordTxnBytes)
+	job.encode(b)
+	ctx.MemWrite(addr, b, true)
+}
+
+var _ pfe.App = (*Aggregator)(nil)

@@ -1,0 +1,184 @@
+// Package trioml implements Trio-ML, the paper's in-network aggregation
+// application (§4), together with the timer-thread straggler mitigation of
+// §5. It runs as a native application on internal/trio/pfe with explicit
+// instruction accounting calibrated to the paper's Microcode analysis
+// (§6.3: ≈60 static instructions; ≈1.2 run-time instructions per gradient in
+// the tail-aggregation loop).
+package trioml
+
+import (
+	"github.com/trioml/triogo/internal/bitfield"
+	"github.com/trioml/triogo/internal/sim"
+)
+
+// JobBlockID is the pseudo block id under which a job record is keyed in the
+// aggregation hash table ("JOB_ID = 1, BLOCK_ID = -1" in Fig. 9).
+const JobBlockID = 0xFFFFFFFF
+
+// ResultSrcID marks a packet as an aggregation result rather than a worker
+// contribution; first-level PFEs use it to recognize results arriving from a
+// top-level aggregator for local distribution.
+const ResultSrcID = 0xFF
+
+// MaxSources is the number of workers a job's source bitmask can describe
+// (four 64-bit mask words, Appendix A.1).
+const MaxSources = 256
+
+// Key packs (job, block) into a hash-engine key.
+func Key(jobID uint8, blockID uint32) uint64 {
+	return uint64(jobID)<<32 | uint64(blockID)
+}
+
+// SplitKey recovers (job, block) from a hash key.
+func SplitKey(k uint64) (jobID uint8, blockID uint32) {
+	return uint8(k >> 32), uint32(k)
+}
+
+// jobLayout is trio_ml_job_ctx_t (Fig. 17): 58 bytes.
+var jobLayout = bitfield.NewLayout(
+	bitfield.Field{Name: "block_curr_cnt", Width: 16},
+	bitfield.Field{Name: "block_cnt_max", Width: 12},
+	bitfield.Field{Name: "block_grad_max", Width: 12},
+	bitfield.Field{Name: "block_exp", Width: 8}, // milliseconds
+	bitfield.Field{Name: "block_total_cnt", Width: 32},
+	bitfield.Field{Name: "out_src_addr", Width: 32},
+	bitfield.Field{Name: "out_dst_addr", Width: 32},
+	bitfield.Field{Name: "out_nh_addr", Width: 32},
+	bitfield.Field{Name: "", Width: 24},
+	bitfield.Field{Name: "src_cnt", Width: 8},
+	bitfield.Field{Name: "src_mask_0", Width: 64},
+	bitfield.Field{Name: "src_mask_1", Width: 64},
+	bitfield.Field{Name: "src_mask_2", Width: 64},
+	bitfield.Field{Name: "src_mask_3", Width: 64},
+)
+
+// blockLayout is trio_ml_block_ctx_t (Fig. 18): 58 bytes. The paper leaves a
+// 24-bit alignment hole before rcvd_cnt; this implementation names 16 bits
+// of it gen_id so a block record can distinguish consecutive iterations
+// (the packet header's gen_id field exists for exactly this purpose, §4).
+var blockLayout = bitfield.NewLayout(
+	bitfield.Field{Name: "block_exp", Width: 8},
+	bitfield.Field{Name: "block_age", Width: 8},
+	bitfield.Field{Name: "block_start_time", Width: 64},
+	bitfield.Field{Name: "job_ctx_paddr", Width: 32},
+	bitfield.Field{Name: "aggr_paddr", Width: 32},
+	bitfield.Field{Name: "", Width: 20},
+	bitfield.Field{Name: "grad_cnt", Width: 12},
+	bitfield.Field{Name: "gen_id", Width: 16},
+	bitfield.Field{Name: "", Width: 8},
+	bitfield.Field{Name: "rcvd_cnt", Width: 8},
+	bitfield.Field{Name: "rcvd_mask_0", Width: 64},
+	bitfield.Field{Name: "rcvd_mask_1", Width: 64},
+	bitfield.Field{Name: "rcvd_mask_2", Width: 64},
+	bitfield.Field{Name: "rcvd_mask_3", Width: 64},
+)
+
+// RecordBytes is the size of both record structures (58 bytes per the
+// paper); records are read and written as 64-byte memory transactions.
+var RecordBytes = jobLayout.Bytes()
+
+// recordTxnBytes rounds the record size up to the 8-byte transaction grain.
+const recordTxnBytes = 64
+
+// JobRecord is the decoded form of trio_ml_job_ctx_t.
+type JobRecord struct {
+	BlockCurrCnt  uint16
+	BlockCntMax   uint16 // 12 bits
+	BlockGradMax  uint16 // 12 bits
+	BlockExpMs    uint8
+	BlockTotalCnt uint32
+	OutSrcAddr    uint32
+	OutDstAddr    uint32
+	OutNhAddr     uint32
+	SrcCnt        uint8
+	SrcMask       [4]uint64
+}
+
+func (j *JobRecord) encode(b []byte) {
+	jobLayout.Put(b, "block_curr_cnt", uint64(j.BlockCurrCnt))
+	jobLayout.Put(b, "block_cnt_max", uint64(j.BlockCntMax))
+	jobLayout.Put(b, "block_grad_max", uint64(j.BlockGradMax))
+	jobLayout.Put(b, "block_exp", uint64(j.BlockExpMs))
+	jobLayout.Put(b, "block_total_cnt", uint64(j.BlockTotalCnt))
+	jobLayout.Put(b, "out_src_addr", uint64(j.OutSrcAddr))
+	jobLayout.Put(b, "out_dst_addr", uint64(j.OutDstAddr))
+	jobLayout.Put(b, "out_nh_addr", uint64(j.OutNhAddr))
+	jobLayout.Put(b, "src_cnt", uint64(j.SrcCnt))
+	for i, m := range j.SrcMask {
+		jobLayout.Put(b, maskField("src_mask_", i), m)
+	}
+}
+
+func decodeJob(b []byte) JobRecord {
+	var j JobRecord
+	j.BlockCurrCnt = uint16(jobLayout.Get(b, "block_curr_cnt"))
+	j.BlockCntMax = uint16(jobLayout.Get(b, "block_cnt_max"))
+	j.BlockGradMax = uint16(jobLayout.Get(b, "block_grad_max"))
+	j.BlockExpMs = uint8(jobLayout.Get(b, "block_exp"))
+	j.BlockTotalCnt = uint32(jobLayout.Get(b, "block_total_cnt"))
+	j.OutSrcAddr = uint32(jobLayout.Get(b, "out_src_addr"))
+	j.OutDstAddr = uint32(jobLayout.Get(b, "out_dst_addr"))
+	j.OutNhAddr = uint32(jobLayout.Get(b, "out_nh_addr"))
+	j.SrcCnt = uint8(jobLayout.Get(b, "src_cnt"))
+	for i := range j.SrcMask {
+		j.SrcMask[i] = jobLayout.Get(b, maskField("src_mask_", i))
+	}
+	return j
+}
+
+// BlockRecord is the decoded form of trio_ml_block_ctx_t.
+type BlockRecord struct {
+	BlockExpMs     uint8
+	BlockAge       uint8
+	BlockStartTime sim.Time
+	JobCtxPAddr    uint32
+	AggrPAddr      uint32
+	GradCnt        uint16 // 12 bits
+	GenID          uint16
+	RcvdCnt        uint8
+	RcvdMask       [4]uint64
+}
+
+func (r *BlockRecord) encode(b []byte) {
+	blockLayout.Put(b, "block_exp", uint64(r.BlockExpMs))
+	blockLayout.Put(b, "block_age", uint64(r.BlockAge))
+	blockLayout.Put(b, "block_start_time", uint64(r.BlockStartTime))
+	blockLayout.Put(b, "job_ctx_paddr", uint64(r.JobCtxPAddr))
+	blockLayout.Put(b, "aggr_paddr", uint64(r.AggrPAddr))
+	blockLayout.Put(b, "grad_cnt", uint64(r.GradCnt))
+	blockLayout.Put(b, "gen_id", uint64(r.GenID))
+	blockLayout.Put(b, "rcvd_cnt", uint64(r.RcvdCnt))
+	for i, m := range r.RcvdMask {
+		blockLayout.Put(b, maskField("rcvd_mask_", i), m)
+	}
+}
+
+func decodeBlock(b []byte) BlockRecord {
+	var r BlockRecord
+	r.BlockExpMs = uint8(blockLayout.Get(b, "block_exp"))
+	r.BlockAge = uint8(blockLayout.Get(b, "block_age"))
+	r.BlockStartTime = sim.Time(blockLayout.Get(b, "block_start_time"))
+	r.JobCtxPAddr = uint32(blockLayout.Get(b, "job_ctx_paddr"))
+	r.AggrPAddr = uint32(blockLayout.Get(b, "aggr_paddr"))
+	r.GradCnt = uint16(blockLayout.Get(b, "grad_cnt"))
+	r.GenID = uint16(blockLayout.Get(b, "gen_id"))
+	r.RcvdCnt = uint8(blockLayout.Get(b, "rcvd_cnt"))
+	for i := range r.RcvdMask {
+		r.RcvdMask[i] = blockLayout.Get(b, maskField("rcvd_mask_", i))
+	}
+	return r
+}
+
+func maskField(prefix string, i int) string {
+	return prefix + string(rune('0'+i))
+}
+
+// maskBit reports whether source id s is set in a 4-word mask.
+func maskBit(mask *[4]uint64, s uint8) bool {
+	return mask[s/64]&(1<<(s%64)) != 0
+}
+
+// setMaskBit sets source id s in a 4-word mask.
+func setMaskBit(mask *[4]uint64, s uint8) {
+	mask[s/64] |= 1 << (s % 64)
+}
