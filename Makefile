@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test verify verify-hostagg bench-hostagg
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the tier-1 gate: full build + tests, then vet and the hostagg
+# race suite (the sharded hot path is the concurrency-critical layer).
+verify: build test verify-hostagg
+
+verify-hostagg:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/hostagg/...
+
+bench-hostagg:
+	$(GO) test -run xxx -bench 'Shard|AllReduceUDP' ./internal/hostagg/

@@ -5,6 +5,16 @@
 // Usage:
 //
 //	aggserver [-listen :12000] [-workers 6] [-timeout 10ms] [-stats 5s]
+//	          [-shards 0] [-recv 0]
+//
+// -shards partitions the block table (rounded up to a power of two) and
+// -recv sets the number of receive goroutines (SO_REUSEPORT sockets on
+// Linux); 0 sizes both from GOMAXPROCS.
+//
+// Note that with SO_REUSEPORT active (-recv > 1 on Linux), a second
+// aggserver started on the same port binds successfully and the kernel
+// splits incoming flows between the two processes — make sure only one
+// instance serves a given port.
 package main
 
 import (
@@ -24,18 +34,22 @@ func main() {
 		workers  = flag.Int("workers", 6, "number of workers per job")
 		timeout  = flag.Duration("timeout", 10*time.Millisecond, "straggler timeout (0 disables)")
 		statsInt = flag.Duration("stats", 10*time.Second, "stats logging interval (0 disables)")
+		shards   = flag.Int("shards", 0, "block-table shards, rounded up to a power of two (0 = GOMAXPROCS)")
+		recv     = flag.Int("recv", 0, "receive goroutines / SO_REUSEPORT sockets (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	srv, err := hostagg.NewServer(hostagg.ServerConfig{
 		ListenAddr: *listen, NumWorkers: *workers, Timeout: *timeout, Logger: log,
+		Shards: *shards, RecvWorkers: *recv,
 	})
 	if err != nil {
 		log.Error("start", "err", err)
 		os.Exit(1)
 	}
-	log.Info("aggserver listening", "addr", srv.Addr(), "workers", *workers, "timeout", *timeout)
+	log.Info("aggserver listening", "addr", srv.Addr(), "workers", *workers, "timeout", *timeout,
+		"shards", srv.NumShards(), "sockets", srv.NumSockets())
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -46,7 +60,9 @@ func main() {
 				st := srv.Stats()
 				log.Info("stats", "packets", st.Packets, "completed", st.Completed,
 					"degraded", st.Degraded, "duplicates", st.Duplicates,
-					"stale", st.StaleDrops, "pending", srv.Pending())
+					"stale", st.StaleDrops, "bad", st.BadPackets,
+					"restarts", st.GenRestarts, "mismatch", st.GradMismatch,
+					"pending", srv.Pending())
 			}
 		}()
 	}

@@ -1,0 +1,154 @@
+package hostagg
+
+// Benchmarks for the sharded hot path. The scatter workload spreads each
+// client's traffic over distinct block ids (every packet completes a block:
+// map insert, sum, delete); the hot-block workload makes every client
+// collide on one (job, block) key, the worst case a single shard must
+// serialize. Run:
+//
+//	go test -bench=Shard -cpu 1,4,8 ./internal/hostagg/
+//
+// Scaling headroom appears as the shard count grows toward GOMAXPROCS; on a
+// single-core host the configurations measure the same serialized work and
+// only multi-core runs separate them.
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/trioml/triogo/internal/packet"
+)
+
+var benchBlockSeq atomic.Uint32
+
+// benchPayloads prebuilds count single-gradient packets with distinct
+// block ids, so the measured loop is only the server's handle path.
+func benchPayloads(count int, hot bool) [][]byte {
+	payloads := make([][]byte, count)
+	for i := range payloads {
+		blockID := uint32(0)
+		if !hot {
+			blockID = benchBlockSeq.Add(1)
+		}
+		hdr := packet.TrioML{JobID: 1, BlockID: blockID, SrcID: 0, GenID: 1, GradCnt: 1}
+		p := make([]byte, packet.TrioMLHeaderLen+4)
+		hdr.MarshalTo(p)
+		packet.PutGradients(p[packet.TrioMLHeaderLen:], []int32{1})
+		payloads[i] = p
+	}
+	return payloads
+}
+
+// benchHandle measures packet-handling throughput against a server with
+// the given shard count, driving the handle path the way recvLoop does:
+// each benchmark goroutine plays one receive worker with its own socket.
+// With numWorkers == 1 every packet completes a block and emits a result
+// to the (self-registered) sender; with numWorkers == 2 and a single
+// source no block ever completes, isolating the shard table and lock.
+func benchHandle(b *testing.B, shards, numWorkers int, hot bool) {
+	s, err := NewServer(ServerConfig{
+		ListenAddr: "127.0.0.1:0", NumWorkers: numWorkers,
+		Shards: shards, RecvWorkers: runtime.GOMAXPROCS(0),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	from := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 40000}
+	var nextConn atomic.Uint32
+	start := time.Now()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		conn := s.conns[int(nextConn.Add(1))%len(s.conns)]
+		payloads := benchPayloads(1024, hot)
+		i := 0
+		for pb.Next() {
+			s.handle(conn, payloads[i], from)
+			i++
+			if i == len(payloads) {
+				i = 0
+			}
+		}
+	})
+	b.StopTimer()
+	if el := time.Since(start).Seconds(); el > 0 {
+		b.ReportMetric(float64(b.N)/el, "pkts/s")
+	}
+}
+
+func BenchmarkShardScatter(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchHandle(b, shards, 1, false)
+		})
+	}
+}
+
+func BenchmarkShardHotBlock(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchHandle(b, shards, 1, true)
+		})
+	}
+}
+
+// BenchmarkShardTable isolates the sharded block table: blocks never
+// complete (two expected workers, one source), so the loop is parse →
+// shard lock → map access, the part the shard count parallelizes.
+func BenchmarkShardTable(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchHandle(b, shards, 2, false)
+		})
+	}
+}
+
+// BenchmarkAllReduceUDP is the end-to-end cost over real loopback sockets:
+// multiple clients AllReduce a vector through the sharded server.
+func BenchmarkAllReduceUDP(b *testing.B) {
+	const workers = 2
+	const n = 8192
+	s, err := NewServer(ServerConfig{
+		ListenAddr: "127.0.0.1:0", NumWorkers: workers,
+		Shards: nextPow2(runtime.GOMAXPROCS(0)), RecvWorkers: workers,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	clients := make([]*Client, workers)
+	for w := range clients {
+		clients[w], err = NewClient(ClientConfig{
+			ServerAddr: s.Addr().String(), JobID: 1, SrcID: uint8(w), Window: 32,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer clients[w].Close()
+	}
+	grads := make([]int32, n)
+	for i := range grads {
+		grads[i] = int32(i % 7)
+	}
+	b.SetBytes(4 * n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen := uint16(i + 1)
+		errs := make(chan error, workers)
+		for w := 0; w < workers; w++ {
+			go func(c *Client) {
+				_, err := c.AllReduce(gen, grads, 1024, workers, 30*time.Second)
+				errs <- err
+			}(clients[w])
+		}
+		for w := 0; w < workers; w++ {
+			if err := <-errs; err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/trioml/triogo/internal/packet"
@@ -15,6 +16,10 @@ type ClientConfig struct {
 	JobID      uint8
 	SrcID      uint8
 	Window     int // outstanding blocks; default 16
+	// ResultBuffer is the capacity of the Results channel; results arriving
+	// while it is full are dropped (UDP semantics) and counted in
+	// ClientStats.Dropped. Default 1024.
+	ResultBuffer int
 }
 
 // Result is one aggregated block delivered to the application.
@@ -26,15 +31,30 @@ type Result struct {
 	Grads    []int32
 }
 
+// ClientStats is a snapshot of the client's receive-side counters.
+type ClientStats struct {
+	Delivered uint64 // results handed to the Results channel
+	Dropped   uint64 // results discarded because the channel was full
+}
+
 // Client streams gradient blocks to a hostagg server and collects results.
 type Client struct {
 	cfg  ClientConfig
 	conn *net.UDPConn
 
-	mu      sync.Mutex
-	pending map[uint32]chan Result
 	results chan Result
 	closed  chan struct{}
+
+	// failed is closed (after failErr is set) when recvLoop dies on a read
+	// error that was not a local Close; AllReduce surfaces it as an error
+	// instead of spinning on a closed results channel.
+	failed   chan struct{}
+	failOnce sync.Once
+	failErr  error
+
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+
 	stopped sync.WaitGroup
 }
 
@@ -42,6 +62,9 @@ type Client struct {
 func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.Window <= 0 {
 		cfg.Window = 16
+	}
+	if cfg.ResultBuffer <= 0 {
+		cfg.ResultBuffer = 1024
 	}
 	addr, err := net.ResolveUDPAddr("udp", cfg.ServerAddr)
 	if err != nil {
@@ -53,9 +76,9 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	}
 	c := &Client{
 		cfg: cfg, conn: conn,
-		pending: make(map[uint32]chan Result),
-		results: make(chan Result, 1024),
+		results: make(chan Result, cfg.ResultBuffer),
 		closed:  make(chan struct{}),
+		failed:  make(chan struct{}),
 	}
 	c.stopped.Add(1)
 	go c.recvLoop()
@@ -75,6 +98,29 @@ func (c *Client) Close() error {
 	return err
 }
 
+// Stats returns a snapshot of the receive-side counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{Delivered: c.delivered.Load(), Dropped: c.dropped.Load()}
+}
+
+// Err reports why the receive loop stopped, or nil while it is healthy.
+func (c *Client) Err() error {
+	select {
+	case <-c.failed:
+		return c.failErr
+	default:
+		return nil
+	}
+}
+
+// fail records the receive loop's terminal error and signals waiters.
+func (c *Client) fail(err error) {
+	c.failOnce.Do(func() {
+		c.failErr = err
+		close(c.failed)
+	})
+}
+
 // SendBlock transmits one gradient block.
 func (c *Client) SendBlock(blockID uint32, genID uint16, grads []int32, final bool) error {
 	if len(grads) > packet.MaxGradientsPerPacket {
@@ -91,7 +137,8 @@ func (c *Client) SendBlock(blockID uint32, genID uint16, grads []int32, final bo
 	return err
 }
 
-// Results delivers aggregated blocks as they arrive.
+// Results delivers aggregated blocks as they arrive. The channel is never
+// closed; a dead receive loop is reported by Err and by AllReduce.
 func (c *Client) Results() <-chan Result { return c.results }
 
 // AllReduce streams the given gradient vector in window-limited blocks of
@@ -146,8 +193,12 @@ func (c *Client) AllReduce(genID uint16, grads []int32, blockGrads, numWorkers i
 			if err := sendNext(); err != nil {
 				return nil, err
 			}
+		case <-c.failed:
+			return nil, fmt.Errorf("hostagg: receive loop failed with %d/%d blocks: %w", len(got), nBlocks, c.failErr)
 		case <-deadline:
-			return nil, fmt.Errorf("hostagg: allreduce timed out with %d/%d blocks", len(got), nBlocks)
+			st := c.Stats()
+			return nil, fmt.Errorf("hostagg: allreduce timed out with %d/%d blocks (%d results delivered, %d dropped)",
+				len(got), nBlocks, st.Delivered, st.Dropped)
 		case <-c.closed:
 			return nil, net.ErrClosed
 		}
@@ -164,13 +215,17 @@ func (c *Client) recvLoop() {
 			select {
 			case <-c.closed:
 			default:
-				close(c.results)
+				// Leave c.results open: closing it would feed receivers an
+				// endless stream of zero-value Results (gen 0, block 0)
+				// that could silently zero out real gradients. Signal the
+				// failure explicitly instead.
+				c.fail(err)
 			}
 			return
 		}
 		var h packet.TrioML
 		rest, err := h.Unmarshal(buf[:n])
-		if err != nil || h.SrcID != 0xFF {
+		if err != nil || h.SrcID != 0xFF || h.JobID != c.cfg.JobID {
 			continue
 		}
 		grads, err := packet.Gradients(rest, int(h.GradCnt))
@@ -180,7 +235,11 @@ func (c *Client) recvLoop() {
 		r := Result{BlockID: h.BlockID, GenID: h.GenID, SrcCnt: h.SrcCnt, Degraded: h.Degraded, Grads: grads}
 		select {
 		case c.results <- r:
-		default: // application is not draining; drop (UDP semantics)
+			c.delivered.Add(1)
+		default:
+			// Application is not draining; drop (UDP semantics) but account
+			// for it so a stalled AllReduce is diagnosable.
+			c.dropped.Add(1)
 		}
 	}
 }

@@ -1,0 +1,56 @@
+// Package hostagg is the host-side realization of Trio-ML: the same
+// aggregation protocol (trio_ml_hdr_t over UDP, Fig. 7/8) served by a real
+// net.UDPConn instead of simulated PFE hardware. It exists because the
+// paper's data plane requires Juniper silicon; the host aggregator exercises
+// the protocol logic — block records, source bitmaps, generation handling,
+// straggler timeouts with partial results — on a stack anyone can run,
+// including the vMX-style x86 deployment path the paper describes (§3.1).
+//
+// The wire format is the UDP payload produced by packet.TrioML followed by
+// big-endian int32 gradients; a frame built for the simulator can be
+// replayed here by stripping its Ethernet/IPv4/UDP headers.
+//
+// # Sharded server architecture
+//
+// The server is built for multi-core scale, mirroring how the paper's PFEs
+// spread slot state across memory banks:
+//
+//   - Receive parallelism: RecvWorkers sockets are bound to the same address
+//     with SO_REUSEPORT where the platform supports it (Linux), so the
+//     kernel fans incoming flows out across receive goroutines. Where
+//     SO_REUSEPORT is unavailable the server falls back to a single socket
+//     read by RecvWorkers goroutines. (SO_REUSEPORT also lets a second
+//     same-UID process bind the same port and steal a share of the flows —
+//     run one server per port.)
+//   - Block-table sharding: block records are partitioned into a
+//     power-of-two number of shards (ServerConfig.Shards) keyed by
+//     hash(job, block), each shard guarded by its own mutex. Traffic for
+//     distinct blocks proceeds in parallel; only packets for the same
+//     (job, block) serialize.
+//   - Per-shard aging: each shard runs its own REF-flag scanner (the host
+//     analogue of §5's timer threads), so straggler sweeps never stop the
+//     whole table.
+//   - Lock-free stats: counters are sync/atomic and never touch a shard
+//     mutex; Stats() is a consistent-enough snapshot for telemetry.
+//   - Pooled emit buffers: result payloads are marshaled into a sync.Pool
+//     buffer, so the steady-state hot path does not allocate per result.
+//
+// # Wire-protocol invariants
+//
+// The hot path enforces the following invariants (each regression-tested):
+//
+//   - A generation restart (newer gen_id reusing a block id) adopts the
+//     incoming packet's gradient vector exactly: the sum vector is resized
+//     to the new length, final is taken from the new packet, and nothing
+//     from the old generation leaks into the new sums. Restarts are counted
+//     in ServerStats.GenRestarts.
+//   - A contribution carrying more gradients than the open block grows the
+//     sum vector rather than silently truncating; any length mismatch is
+//     counted in ServerStats.GradMismatch and logged once.
+//   - A client whose receive loop dies (socket error) fails AllReduce with
+//     an error instead of delivering zero-value results that would zero out
+//     real gradients.
+//   - Results dropped because the application is not draining the Results
+//     channel are counted in ClientStats.Dropped, so a timed-out AllReduce
+//     is diagnosable.
+package hostagg

@@ -1,0 +1,40 @@
+//go:build linux && !mips && !mipsle && !mips64 && !mips64le
+
+package hostagg
+
+import (
+	"context"
+	"net"
+	"syscall"
+)
+
+// reusePortSupported reports whether parallel sockets on one address are
+// available; on Linux this is SO_REUSEPORT with kernel flow hashing.
+const reusePortSupported = true
+
+// soReusePort is SO_REUSEPORT from asm-generic/socket.h; the frozen
+// syscall package predates it. (The mips family, which renumbers it, is
+// excluded by build tag and uses the single-socket fallback.)
+const soReusePort = 15
+
+// listenReusePort binds a UDP socket with SO_REUSEPORT set, so several
+// sockets can share one address and the kernel load-balances flows across
+// them.
+func listenReusePort(network, addr string) (*net.UDPConn, error) {
+	lc := net.ListenConfig{
+		Control: func(_, _ string, c syscall.RawConn) error {
+			var sockErr error
+			if err := c.Control(func(fd uintptr) {
+				sockErr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			}); err != nil {
+				return err
+			}
+			return sockErr
+		},
+	}
+	pc, err := lc.ListenPacket(context.Background(), network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return pc.(*net.UDPConn), nil
+}

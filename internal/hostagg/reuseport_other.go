@@ -1,0 +1,17 @@
+//go:build !linux || mips || mipsle || mips64 || mips64le
+
+package hostagg
+
+import (
+	"errors"
+	"net"
+)
+
+// reusePortSupported reports whether parallel sockets on one address are
+// available. Off Linux the server falls back to one socket drained by
+// RecvWorkers goroutines.
+const reusePortSupported = false
+
+func listenReusePort(network, addr string) (*net.UDPConn, error) {
+	return nil, errors.New("hostagg: SO_REUSEPORT not supported on this platform")
+}

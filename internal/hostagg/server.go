@@ -1,22 +1,14 @@
-// Package hostagg is the host-side realization of Trio-ML: the same
-// aggregation protocol (trio_ml_hdr_t over UDP, Fig. 7/8) served by a real
-// net.UDPConn instead of simulated PFE hardware. It exists because the
-// paper's data plane requires Juniper silicon; the host aggregator exercises
-// the protocol logic — block records, source bitmaps, generation handling,
-// straggler timeouts with partial results — on a stack anyone can run,
-// including the vMX-style x86 deployment path the paper describes (§3.1).
-//
-// The wire format is the UDP payload produced by packet.TrioML followed by
-// big-endian int32 gradients; a frame built for the simulator can be
-// replayed here by stripping its Ethernet/IPv4/UDP headers.
 package hostagg
 
 import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math/bits"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/trioml/triogo/internal/packet"
@@ -31,9 +23,17 @@ type ServerConfig struct {
 	// Timeout ages out blocks missing contributions (straggler mitigation).
 	// Zero disables aging (SwitchML-like semantics).
 	Timeout time.Duration
-	// ScanInterval is how often the aging scanner sweeps; defaults to
-	// Timeout/4 (the host-side analogue of N staggered timer threads).
+	// ScanInterval is how often each shard's aging scanner sweeps; defaults
+	// to Timeout/4 (the host-side analogue of N staggered timer threads).
 	ScanInterval time.Duration
+	// Shards is the number of block-table partitions, each with its own
+	// mutex; it is rounded up to a power of two. Zero picks a default based
+	// on GOMAXPROCS.
+	Shards int
+	// RecvWorkers is the number of receive goroutines. On Linux each gets
+	// its own SO_REUSEPORT socket; elsewhere they share one socket. Zero
+	// picks GOMAXPROCS.
+	RecvWorkers int
 	// Logger receives operational messages; nil uses slog.Default.
 	Logger *slog.Logger
 }
@@ -43,43 +43,84 @@ type blockState struct {
 	rcvdMask uint64
 	rcvdCnt  int
 	genID    uint16
-	jobID    uint8
 	final    bool
 	lastRef  time.Time
 	refFlag  bool // cleared by the scanner, set by packets (REF semantics)
 }
 
+// shard is one partition of the block table with its own lock, so traffic
+// for distinct blocks aggregates in parallel.
+type shard struct {
+	mu     sync.Mutex
+	blocks map[uint64]*blockState
+}
+
 // Server aggregates gradient blocks arriving over UDP and multicasts (by
 // iterated unicast — host networks rarely have multicast set up) results to
-// every registered worker.
+// every registered worker. Block state is partitioned into power-of-two
+// shards keyed by hash(job, block); see the package documentation.
 type Server struct {
-	cfg  ServerConfig
-	conn *net.UDPConn
-	log  *slog.Logger
+	cfg   ServerConfig
+	conns []*net.UDPConn // len > 1 only with SO_REUSEPORT
+	log   *slog.Logger
 
-	mu      sync.Mutex
-	blocks  map[uint64]*blockState  // Key(job, block)
-	workers map[uint16]*net.UDPAddr // job<<8|src_id -> return address
-	stats   ServerStats
+	shards     []*shard
+	shardShift uint // 64 - log2(len(shards))
+
+	workersMu sync.RWMutex
+	workers   map[uint16]*net.UDPAddr // job<<8|src_id -> return address
+
+	counters serverCounters
+	emitPool sync.Pool // *[]byte result payloads
+
+	mismatchOnce sync.Once
 
 	closed  chan struct{}
 	stopped sync.WaitGroup
 }
 
-// ServerStats counts server activity (snapshot via Stats).
+// ServerStats is a snapshot of the server's activity counters (via Stats).
 type ServerStats struct {
-	Packets    uint64
-	Duplicates uint64
-	StaleDrops uint64
-	Completed  uint64
-	Degraded   uint64
-	BadPackets uint64
+	Packets      uint64
+	Duplicates   uint64
+	StaleDrops   uint64
+	Completed    uint64
+	Degraded     uint64
+	BadPackets   uint64
+	GenRestarts  uint64 // blocks restarted in place by a newer generation
+	GradMismatch uint64 // contributions whose gradient count differed from the open block
+}
+
+// serverCounters are the live atomic counters behind ServerStats.
+type serverCounters struct {
+	packets      atomic.Uint64
+	duplicates   atomic.Uint64
+	staleDrops   atomic.Uint64
+	completed    atomic.Uint64
+	degraded     atomic.Uint64
+	badPackets   atomic.Uint64
+	genRestarts  atomic.Uint64
+	gradMismatch atomic.Uint64
 }
 
 // key packs (job, block) like the data-plane hash key.
 func key(job uint8, block uint32) uint64 { return uint64(job)<<32 | uint64(block) }
 
-// NewServer binds the socket and starts the receive and scan loops.
+// shardFor mixes the key (Fibonacci hashing) and picks a shard from the top
+// bits, so consecutive block ids spread across shards.
+func (s *Server) shardFor(k uint64) *shard {
+	return s.shards[(k*0x9E3779B97F4A7C15)>>s.shardShift]
+}
+
+// nextPow2 rounds n up to a power of two (n >= 1).
+func nextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// NewServer binds the socket(s) and starts the receive and scan loops.
 func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.NumWorkers <= 0 || cfg.NumWorkers > 64 {
 		return nil, fmt.Errorf("hostagg: workers must be 1..64, got %d", cfg.NumWorkers)
@@ -90,6 +131,78 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.ScanInterval == 0 && cfg.Timeout > 0 {
 		cfg.ScanInterval = cfg.Timeout / 4
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = nextPow2(runtime.GOMAXPROCS(0))
+	}
+	cfg.Shards = nextPow2(cfg.Shards)
+	if cfg.Shards > 1024 {
+		return nil, fmt.Errorf("hostagg: shards must be <= 1024, got %d", cfg.Shards)
+	}
+	if cfg.RecvWorkers <= 0 {
+		cfg.RecvWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.RecvWorkers > 64 {
+		return nil, fmt.Errorf("hostagg: recv workers must be <= 64, got %d", cfg.RecvWorkers)
+	}
+	if _, err := net.ResolveUDPAddr("udp", cfg.ListenAddr); err != nil {
+		return nil, fmt.Errorf("hostagg: resolve %q: %w", cfg.ListenAddr, err)
+	}
+	conns, err := bindSockets(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg: cfg, conns: conns, log: cfg.Logger,
+		shards:     make([]*shard, cfg.Shards),
+		shardShift: uint(64 - bits.Len(uint(cfg.Shards-1))),
+		workers:    make(map[uint16]*net.UDPAddr),
+		closed:     make(chan struct{}),
+	}
+	for i := range s.shards {
+		s.shards[i] = &shard{blocks: make(map[uint64]*blockState)}
+	}
+	s.emitPool.New = func() any {
+		b := make([]byte, 0, packet.TrioMLHeaderLen+4*packet.MaxGradientsPerPacket)
+		return &b
+	}
+	for i := 0; i < cfg.RecvWorkers; i++ {
+		conn := conns[i%len(conns)]
+		s.stopped.Add(1)
+		go s.recvLoop(conn)
+	}
+	if cfg.Timeout > 0 {
+		for i, sh := range s.shards {
+			s.stopped.Add(1)
+			go s.scanShard(sh, conns[i%len(conns)])
+		}
+	}
+	return s, nil
+}
+
+// bindSockets opens the receive sockets: RecvWorkers SO_REUSEPORT sockets
+// where the platform supports it, otherwise one shared socket.
+func bindSockets(cfg ServerConfig) ([]*net.UDPConn, error) {
+	if reusePortSupported && cfg.RecvWorkers > 1 {
+		first, err := listenReusePort("udp", cfg.ListenAddr)
+		if err == nil {
+			conns := []*net.UDPConn{first}
+			// ListenAddr may carry port 0; later sockets must join the
+			// concrete port the first socket landed on.
+			bound := first.LocalAddr().String()
+			for i := 1; i < cfg.RecvWorkers; i++ {
+				c, cerr := listenReusePort("udp", bound)
+				if cerr != nil {
+					for _, open := range conns {
+						open.Close()
+					}
+					return nil, fmt.Errorf("hostagg: reuseport socket %d: %w", i, cerr)
+				}
+				conns = append(conns, c)
+			}
+			return conns, nil
+		}
+		cfg.Logger.Warn("hostagg: SO_REUSEPORT bind failed, falling back to shared socket", "err", err)
+	}
 	addr, err := net.ResolveUDPAddr("udp", cfg.ListenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("hostagg: resolve %q: %w", cfg.ListenAddr, err)
@@ -98,32 +211,34 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("hostagg: listen: %w", err)
 	}
-	s := &Server{
-		cfg: cfg, conn: conn, log: cfg.Logger,
-		blocks:  make(map[uint64]*blockState),
-		workers: make(map[uint16]*net.UDPAddr),
-		closed:  make(chan struct{}),
-	}
-	s.stopped.Add(1)
-	go s.recvLoop()
-	if cfg.Timeout > 0 {
-		s.stopped.Add(1)
-		go s.scanLoop()
-	}
-	return s, nil
+	return []*net.UDPConn{conn}, nil
 }
 
 // Addr reports the bound UDP address.
-func (s *Server) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
+func (s *Server) Addr() *net.UDPAddr { return s.conns[0].LocalAddr().(*net.UDPAddr) }
+
+// NumShards reports the (power-of-two) shard count in effect.
+func (s *Server) NumShards() int { return len(s.shards) }
+
+// NumSockets reports how many receive sockets are bound; more than one
+// means SO_REUSEPORT fan-out is active.
+func (s *Server) NumSockets() int { return len(s.conns) }
 
 // Stats returns a snapshot of the counters.
 func (s *Server) Stats() ServerStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return ServerStats{
+		Packets:      s.counters.packets.Load(),
+		Duplicates:   s.counters.duplicates.Load(),
+		StaleDrops:   s.counters.staleDrops.Load(),
+		Completed:    s.counters.completed.Load(),
+		Degraded:     s.counters.degraded.Load(),
+		BadPackets:   s.counters.badPackets.Load(),
+		GenRestarts:  s.counters.genRestarts.Load(),
+		GradMismatch: s.counters.gradMismatch.Load(),
+	}
 }
 
-// Close stops the loops and releases the socket.
+// Close stops the loops and releases the sockets.
 func (s *Server) Close() error {
 	select {
 	case <-s.closed:
@@ -131,16 +246,21 @@ func (s *Server) Close() error {
 	default:
 	}
 	close(s.closed)
-	err := s.conn.Close()
+	var err error
+	for _, c := range s.conns {
+		if cerr := c.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	s.stopped.Wait()
 	return err
 }
 
-func (s *Server) recvLoop() {
+func (s *Server) recvLoop(conn *net.UDPConn) {
 	defer s.stopped.Done()
 	buf := make([]byte, 65536)
 	for {
-		n, from, err := s.conn.ReadFromUDP(buf)
+		n, from, err := conn.ReadFromUDP(buf)
 		if err != nil {
 			select {
 			case <-s.closed:
@@ -153,56 +273,84 @@ func (s *Server) recvLoop() {
 			s.log.Warn("hostagg: read", "err", err)
 			continue
 		}
-		s.handle(buf[:n], from)
+		s.handle(conn, buf[:n], from)
 	}
 }
 
-func (s *Server) handle(payload []byte, from *net.UDPAddr) {
+// register records a worker's return address, upgrading to the write lock
+// only when the entry actually changes (the common case is a no-op read).
+func (s *Server) register(id uint16, from *net.UDPAddr) {
+	s.workersMu.RLock()
+	cur, ok := s.workers[id]
+	s.workersMu.RUnlock()
+	if ok && cur.Port == from.Port && cur.IP.Equal(from.IP) {
+		return
+	}
+	s.workersMu.Lock()
+	s.workers[id] = from
+	s.workersMu.Unlock()
+}
+
+func (s *Server) handle(conn *net.UDPConn, payload []byte, from *net.UDPAddr) {
 	var h packet.TrioML
 	rest, err := h.Unmarshal(payload)
 	if err != nil {
-		s.bump(func(st *ServerStats) { st.BadPackets++ })
+		s.counters.badPackets.Add(1)
 		return
 	}
 	grads, err := packet.Gradients(rest, int(h.GradCnt))
 	if err != nil || int(h.SrcID) >= s.cfg.NumWorkers {
-		s.bump(func(st *ServerStats) { st.BadPackets++ })
+		s.counters.badPackets.Add(1)
 		return
 	}
+	s.counters.packets.Add(1)
+	s.register(uint16(h.JobID)<<8|uint16(h.SrcID), from)
 
-	s.mu.Lock()
-	s.stats.Packets++
-	s.workers[uint16(h.JobID)<<8|uint16(h.SrcID)] = from
 	k := key(h.JobID, h.BlockID)
-	b := s.blocks[k]
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	b := sh.blocks[k]
 	switch {
 	case b == nil:
-		b = &blockState{
-			sums: append([]int32(nil), grads...), genID: h.GenID,
-			jobID: h.JobID, final: h.Final,
-		}
-		s.blocks[k] = b
+		// packet.Gradients allocated grads for this packet; the block can
+		// own it outright.
+		b = &blockState{sums: grads, genID: h.GenID, final: h.Final}
+		sh.blocks[k] = b
 	case h.GenID != b.genID && int16(h.GenID-b.genID) < 0:
-		s.stats.StaleDrops++
-		s.mu.Unlock()
+		s.counters.staleDrops.Add(1)
+		sh.mu.Unlock()
 		return
 	case h.GenID != b.genID:
-		// Newer generation reuses the block id: restart in place.
+		// Newer generation reuses the block id: restart in place, adopting
+		// the new packet's vector exactly — the new generation's block may
+		// be larger or smaller than the old one.
 		b.genID = h.GenID
 		b.rcvdMask, b.rcvdCnt = 0, 0
-		copy(b.sums, grads)
-		for i := len(grads); i < len(b.sums); i++ {
-			b.sums[i] = 0
-		}
+		b.sums = grads
+		b.final = h.Final
+		s.counters.genRestarts.Add(1)
 	case b.rcvdMask&(1<<h.SrcID) != 0:
-		s.stats.Duplicates++
-		s.mu.Unlock()
+		s.counters.duplicates.Add(1)
+		sh.mu.Unlock()
 		return
 	default:
-		for i, g := range grads {
-			if i < len(b.sums) {
-				b.sums[i] += g
+		if len(grads) != len(b.sums) {
+			s.counters.gradMismatch.Add(1)
+			s.mismatchOnce.Do(func() {
+				s.log.Warn("hostagg: gradient count mismatch within a generation",
+					"job", h.JobID, "block", h.BlockID, "have", len(b.sums), "got", len(grads))
+			})
+			if len(grads) > len(b.sums) {
+				grown := make([]int32, len(grads))
+				copy(grown, b.sums)
+				b.sums = grown
 			}
+		}
+		for i, g := range grads {
+			b.sums[i] += g
+		}
+		if h.Final {
+			b.final = true
 		}
 	}
 	b.rcvdMask |= 1 << h.SrcID
@@ -213,25 +361,20 @@ func (s *Server) handle(payload []byte, from *net.UDPAddr) {
 	var done *blockState
 	if b.rcvdCnt >= s.cfg.NumWorkers {
 		done = b
-		delete(s.blocks, k)
-		s.stats.Completed++
+		delete(sh.blocks, k)
+		s.counters.completed.Add(1)
 	}
-	targets := s.targets(h.JobID)
-	s.mu.Unlock()
+	sh.mu.Unlock()
 
 	if done != nil {
-		s.emit(h.JobID, h.BlockID, done, false, targets)
+		s.emit(conn, h.JobID, h.BlockID, done, false, s.targets(h.JobID))
 	}
-}
-
-func (s *Server) bump(f func(*ServerStats)) {
-	s.mu.Lock()
-	f(&s.stats)
-	s.mu.Unlock()
 }
 
 // targets lists the return addresses of a job's registered workers.
 func (s *Server) targets(job uint8) []*net.UDPAddr {
+	s.workersMu.RLock()
+	defer s.workersMu.RUnlock()
 	out := make([]*net.UDPAddr, 0, len(s.workers))
 	for k, a := range s.workers {
 		if uint8(k>>8) == job {
@@ -241,10 +384,10 @@ func (s *Server) targets(job uint8) []*net.UDPAddr {
 	return out
 }
 
-// scanLoop is the host analogue of §5's timer threads: it periodically
-// visits block records, clearing REF flags and emitting partial results for
-// records that were not referenced for a full timeout.
-func (s *Server) scanLoop() {
+// scanShard is the host analogue of §5's timer threads, one per shard: it
+// periodically visits the shard's block records, clearing REF flags and
+// emitting partial results for records not referenced for a full timeout.
+func (s *Server) scanShard(sh *shard, conn *net.UDPConn) {
 	defer s.stopped.Done()
 	ticker := time.NewTicker(s.cfg.ScanInterval)
 	defer ticker.Stop()
@@ -260,31 +403,29 @@ func (s *Server) scanLoop() {
 			b     *blockState
 		}
 		var aged []agedBlock
-		s.mu.Lock()
+		sh.mu.Lock()
 		now := time.Now()
-		for k, b := range s.blocks {
+		for k, b := range sh.blocks {
 			if b.refFlag {
 				b.refFlag = false
 				continue
 			}
 			if now.Sub(b.lastRef) >= s.cfg.Timeout && b.rcvdCnt > 0 {
 				aged = append(aged, agedBlock{uint8(k >> 32), uint32(k), b})
-				delete(s.blocks, k)
-				s.stats.Degraded++
+				delete(sh.blocks, k)
+				s.counters.degraded.Add(1)
 			}
 		}
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		for _, a := range aged {
-			s.mu.Lock()
-			targets := s.targets(a.job)
-			s.mu.Unlock()
-			s.emit(a.job, a.block, a.b, true, targets)
+			s.emit(conn, a.job, a.block, a.b, true, s.targets(a.job))
 		}
 	}
 }
 
-// emit sends a Result packet to every known worker.
-func (s *Server) emit(job uint8, block uint32, b *blockState, degraded bool, targets []*net.UDPAddr) {
+// emit sends a Result packet to every known worker, marshaling into a
+// pooled buffer so the hot path does not allocate per result.
+func (s *Server) emit(conn *net.UDPConn, job uint8, block uint32, b *blockState, degraded bool, targets []*net.UDPAddr) {
 	hdr := packet.TrioML{
 		JobID: job, BlockID: block, GenID: b.genID,
 		SrcID: 0xFF, SrcCnt: uint8(b.rcvdCnt), GradCnt: uint16(len(b.sums)),
@@ -293,19 +434,31 @@ func (s *Server) emit(job uint8, block uint32, b *blockState, degraded bool, tar
 	if degraded {
 		hdr.AgeOp = 1
 	}
-	payload := make([]byte, packet.TrioMLHeaderLen+4*len(b.sums))
+	need := packet.TrioMLHeaderLen + 4*len(b.sums)
+	bufp := s.emitPool.Get().(*[]byte)
+	payload := *bufp
+	if cap(payload) < need {
+		payload = make([]byte, need)
+	}
+	payload = payload[:need]
 	hdr.MarshalTo(payload)
 	packet.PutGradients(payload[packet.TrioMLHeaderLen:], b.sums)
 	for _, t := range targets {
-		if _, err := s.conn.WriteToUDP(payload, t); err != nil {
+		if _, err := conn.WriteToUDP(payload, t); err != nil {
 			s.log.Warn("hostagg: send result", "to", t, "err", err)
 		}
 	}
+	*bufp = payload
+	s.emitPool.Put(bufp)
 }
 
 // Pending reports the number of open (partially aggregated) blocks.
 func (s *Server) Pending() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.blocks)
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += len(sh.blocks)
+		sh.mu.Unlock()
+	}
+	return n
 }
