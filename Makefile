@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify verify-hostagg bench-hostagg
+.PHONY: build test vet verify verify-hostagg verify-vfp bench-hostagg bench-sim
 
 build:
 	$(GO) build ./...
@@ -8,13 +8,28 @@ build:
 test:
 	$(GO) test ./...
 
-# verify is the tier-1 gate: full build + tests, then vet and the hostagg
-# race suite (the sharded hot path is the concurrency-critical layer).
-verify: build test verify-hostagg
+vet:
+	$(GO) vet ./...
+
+# verify is the tier-1 gate: full build + tests, whole-repo vet, then the
+# race suites of the concurrency-critical layers (hostagg's sharded hot path
+# and vfp's host datapath).
+verify: build test vet verify-hostagg verify-vfp
 
 verify-hostagg:
-	$(GO) vet ./...
 	$(GO) test -race ./internal/hostagg/...
+
+verify-vfp:
+	$(GO) test -race ./internal/vfp/...
 
 bench-hostagg:
 	$(GO) test -run xxx -bench 'Shard|AllReduceUDP' ./internal/hostagg/
+
+# bench-sim measures the event core and the Fig. 14/15 simulation loops and
+# writes BENCH_sim.json (pre-refactor baseline vs current).
+bench-sim:
+	$(GO) test -run xxx -bench BenchmarkEngine -benchmem ./internal/sim/ > .bench_sim_raw.txt
+	$(GO) test -run xxx -bench 'BenchmarkFig1[45]' -benchtime 20x -benchmem ./internal/harness/ >> .bench_sim_raw.txt
+	$(GO) run ./tools/benchsim -in .bench_sim_raw.txt -out BENCH_sim.json
+	@rm -f .bench_sim_raw.txt
+	@cat BENCH_sim.json

@@ -42,9 +42,10 @@ func main() {
 		panic(err)
 	}
 
-	// Launch the timer threads: interarrival = timeout / N (§5).
+	// Launch the timer threads: interarrival = timeout / N (§5). The returned
+	// handle set cancels them — removing their pending firings from the event
+	// queue — at the end of the demo.
 	stop := agg.StartStragglerDetection(timers, timeout)
-	defer stop()
 
 	sent := make(map[uint32]sim.Time)
 	agg.OnResult = func(h packet.TrioML, at sim.Time) {
@@ -92,7 +93,6 @@ func main() {
 	stopSlow := agg.StartAdvancedMitigation(trioml.AdvancedConfig{
 		AnalyzePeriod: 25 * sim.Millisecond, EventThreshold: 4,
 	})
-	defer stopSlow()
 	agg.OnDemotion = func(job, src uint8, at sim.Time) {
 		fmt.Printf("  [%8.2f ms] source %d DEMOTED from job %d — future blocks no longer wait for it\n",
 			at.Milliseconds(), src, job)
@@ -114,4 +114,11 @@ func main() {
 	st = agg.Stats()
 	fmt.Printf("\nafter demotion: %d blocks completed in full, %d sources demoted\n",
 		st.BlocksCompleted, st.SourcesDemoted)
+
+	// Cancel both timer-thread classes and drain: with their periodic events
+	// removed, the remaining queue empties and the simulation exits cleanly.
+	stop.Stop()
+	stopSlow.Stop()
+	eng.Run()
+	fmt.Printf("event queue at exit: %d pending (clean shutdown)\n", eng.Pending())
 }

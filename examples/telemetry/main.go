@@ -47,7 +47,6 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	defer mon.Stop()
 
 	// Traffic: 30 mouse flows, one elephant, and one abusive source that
 	// bursts far over its policed rate.
@@ -82,4 +81,10 @@ func main() {
 	fmt.Printf("\npackets seen: %d, new flows: %d, heavy flows: %d\n", st.Packets, st.NewFlows, st.HeavyFlows)
 	fmt.Printf("guard: %d packets dropped, %d sources quarantined\n", st.GuardDrops, guard.Quarantined)
 	fmt.Printf("live flows remaining in the table: %d\n", mon.LiveFlows())
+
+	// Cancel the sweep threads and drain: their pending firings leave the
+	// queue on Stop, so the engine runs dry and the demo exits cleanly.
+	mon.Stop()
+	eng.Run()
+	fmt.Printf("event queue at exit: %d pending (clean shutdown)\n", eng.Pending())
 }

@@ -23,6 +23,14 @@ const MaxWidth = 64
 // error rather than an input error.
 func Get(b []byte, off, width uint) uint64 {
 	check(len(b), off, width)
+	if off%8 == 0 && width%8 == 0 {
+		// Byte-aligned fast path: most record and header fields land here.
+		var v uint64
+		for idx, end := off/8, (off+width)/8; idx < end; idx++ {
+			v = v<<8 | uint64(b[idx])
+		}
+		return v
+	}
 	var v uint64
 	for i := uint(0); i < width; {
 		byteIdx := (off + i) / 8
@@ -42,6 +50,13 @@ func Get(b []byte, off, width uint) uint64 {
 // Bits of v above width are ignored.
 func Put(b []byte, off, width uint, v uint64) {
 	check(len(b), off, width)
+	if off%8 == 0 && width%8 == 0 {
+		for idx := (off + width) / 8; idx > off/8; idx-- {
+			b[idx-1] = byte(v)
+			v >>= 8
+		}
+		return
+	}
 	for i := width; i > 0; {
 		byteIdx := (off + i - 1) / 8
 		bitIdx := (off + i - 1) % 8

@@ -63,6 +63,7 @@ func runFig14(p Params) ([]*Table, error) {
 		}
 		t.AddRow(int64(ms), mean, per.Percentile(99)/1000, maxMs, within)
 		p.logf("fig14: timeout=%dms mean=%.2fms max=%.2fms", int64(ms), mean, maxMs)
+		p.logf("fig14: timeout=%dms sched: %v", int64(ms), rig.metrics())
 	}
 	return []*Table{t}, nil
 }

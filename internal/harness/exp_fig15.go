@@ -46,6 +46,7 @@ func runFig15(p Params) ([]*Table, error) {
 		mean := lat.Mean()
 		t.AddRow(grads, mean, float64(grads)/mean)
 		p.logf("fig15: grads=%d latency=%.1fus", grads, mean)
+		p.logf("fig15: grads=%d sched: %v", grads, rig.metrics())
 	}
 	return []*Table{t}, nil
 }

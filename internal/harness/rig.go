@@ -41,6 +41,9 @@ type streamClient struct {
 	sentAt map[uint32]sim.Time
 	lat    sim.Sample
 	doneAt sim.Time
+
+	grads []int32      // send-side scratch; BuildTrioML copies it out
+	frame packet.Frame // receive-side decode scratch
 }
 
 func newTrioRig(cfg rigConfig) *trioRig {
@@ -97,8 +100,11 @@ func (r *trioRig) run() {
 			break
 		}
 	}
-	stop()
+	stop.Stop()
 }
+
+// metrics exposes the engine's self-instrumentation for experiment logging.
+func (r *trioRig) metrics() sim.Metrics { return r.eng.Metrics() }
 
 func (r *trioRig) allDone(cfg rigConfig) bool {
 	for _, c := range r.clients {
@@ -119,7 +125,10 @@ func (c *streamClient) pump() {
 		b := uint32(c.next)
 		c.next++
 		c.sentAt[b] = c.eng.Now()
-		grads := make([]int32, c.cfg.gradsPerPkt)
+		if c.grads == nil {
+			c.grads = make([]int32, c.cfg.gradsPerPkt)
+		}
+		grads := c.grads
 		for i := range grads {
 			grads[i] = int32(c.id + int(b) + i)
 		}
@@ -130,8 +139,8 @@ func (c *streamClient) pump() {
 }
 
 func (c *streamClient) onFrame(frame []byte, at sim.Time) {
-	f, err := packet.Decode(frame)
-	if err != nil || !f.IsTrioML() {
+	f := &c.frame
+	if err := packet.DecodeInto(f, frame); err != nil || !f.IsTrioML() {
 		return
 	}
 	sent, ok := c.sentAt[f.ML.BlockID]

@@ -9,6 +9,7 @@ import (
 	"github.com/trioml/triogo/internal/sim"
 	"github.com/trioml/triogo/internal/switchml"
 	"github.com/trioml/triogo/internal/trio"
+	"github.com/trioml/triogo/internal/trio/pfe"
 	"github.com/trioml/triogo/internal/trioml"
 )
 
@@ -120,7 +121,7 @@ type Cluster struct {
 	iterEnd map[int]sim.Time
 	iterFra map[int]float64
 
-	stopTimers func()
+	stopTimers []*pfe.TimerThreads
 	linkSalt   uint64
 
 	// TrioAgg / SwitchAgg expose the device application for inspection
@@ -185,14 +186,12 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
-		stopFast := agg.StartStragglerDetection(cfg.TimerThreads, cfg.Timeout)
-		c.stopTimers = stopFast
+		c.stopTimers = append(c.stopTimers, agg.StartStragglerDetection(cfg.TimerThreads, cfg.Timeout))
 		if cfg.AdvancedMitigation > 0 {
-			stopSlow := agg.StartAdvancedMitigation(trioml.AdvancedConfig{
+			c.stopTimers = append(c.stopTimers, agg.StartAdvancedMitigation(trioml.AdvancedConfig{
 				AnalyzePeriod:  cfg.AnalyzePeriod,
 				EventThreshold: cfg.AdvancedMitigation,
-			})
-			c.stopTimers = func() { stopFast(); stopSlow() }
+			}))
 		}
 		c.TrioAgg = agg
 		inject = func(port int, frame []byte) { r.Inject(0, port, uint64(port), frame) }
@@ -293,8 +292,8 @@ func (c *Cluster) Run(iterations int) ([]IterationResult, error) {
 			return nil, fmt.Errorf("mltrain: deadline exceeded at iteration %d (%v)", c.doneIters(), c.Eng.Now())
 		}
 	}
-	if c.stopTimers != nil {
-		c.stopTimers()
+	for _, t := range c.stopTimers {
+		t.Stop()
 	}
 	out := make([]IterationResult, iterations)
 	for i := 0; i < iterations; i++ {

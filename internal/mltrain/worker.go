@@ -37,7 +37,12 @@ type Worker struct {
 	pending  int // sent, result not yet received
 	maxSeen  int // highest iteration observed in any result
 	recv     map[int]*iterRecv
-	finished map[int]bool // iterations whose comm phase is done
+	finished map[int]bool       // iterations whose comm phase is done
+	retx     map[int]*retxTimer // armed retransmit timers by global block id
+	retxFree *retxTimer         // recycled timer records
+
+	gradScratch []int32      // send-side scratch; BuildTrioML copies it out
+	frame       packet.Frame // receive-side decode scratch
 
 	// Stats
 	PacketsSent   uint64
@@ -81,6 +86,7 @@ func newWorker(eng *sim.Engine, id int, srcID uint8, numWorkers int, cfg WorkerP
 		ID: id, SrcID: srcID, eng: eng, cfg: cfg, send: send,
 		injector: injector, numWorkers: numWorkers, onIterRecv: onIterRecv,
 		recv: make(map[int]*iterRecv), finished: make(map[int]bool),
+		retx: make(map[int]*retxTimer),
 	}
 }
 
@@ -138,25 +144,60 @@ func (w *Worker) pump() {
 	w.maybeFinishComm()
 }
 
-// armRetransmit schedules periodic resends of (iter, block) until its
-// result arrives or the worker has moved on.
+// retxTimer is one armed retransmit: a cancellable handle plus the block it
+// guards. Records recycle through Worker.retxFree so retransmit arming is
+// allocation-free in steady state.
+type retxTimer struct {
+	w     *Worker
+	iter  int
+	block int
+	h     sim.Handle
+	next  *retxTimer
+}
+
+// retxFire resends an outstanding block and re-arms, or retires the timer if
+// the worker has moved on.
+func retxFire(arg any) {
+	t := arg.(*retxTimer)
+	w := t.w
+	if w.iter != t.iter || w.finished[t.iter] {
+		w.dropRetx(t)
+		return
+	}
+	if _, done := w.recvState(t.iter).got[t.block]; done {
+		w.dropRetx(t)
+		return
+	}
+	w.Retransmits++
+	w.sendBlock(t.iter, t.block)
+	t.h = w.eng.AfterFunc(w.cfg.RetransmitAfter, retxFire, t)
+}
+
+// dropRetx retires a timer record and recycles it.
+func (w *Worker) dropRetx(t *retxTimer) {
+	delete(w.retx, t.iter*w.cfg.Blocks+t.block)
+	t.w = nil
+	t.h = sim.Handle{}
+	t.next = w.retxFree
+	w.retxFree = t
+}
+
+// armRetransmit schedules periodic resends of (iter, block); the timer is
+// cancelled the moment the block's result arrives.
 func (w *Worker) armRetransmit(iter, block int) {
 	if w.cfg.RetransmitAfter <= 0 {
 		return
 	}
-	var check func()
-	check = func() {
-		if w.iter != iter || w.finished[iter] {
-			return
-		}
-		if _, done := w.recvState(iter).got[block]; done {
-			return
-		}
-		w.Retransmits++
-		w.sendBlock(iter, block)
-		w.eng.After(w.cfg.RetransmitAfter, check)
+	t := w.retxFree
+	if t == nil {
+		t = &retxTimer{}
+	} else {
+		w.retxFree = t.next
+		t.next = nil
 	}
-	w.eng.After(w.cfg.RetransmitAfter, check)
+	t.w, t.iter, t.block = w, iter, block
+	w.retx[iter*w.cfg.Blocks+block] = t
+	t.h = w.eng.AfterFunc(w.cfg.RetransmitAfter, retxFire, t)
 }
 
 func (w *Worker) maybeFinishComm() {
@@ -191,7 +232,11 @@ func (w *Worker) gradsOf(block int) int {
 }
 
 func (w *Worker) sendBlock(iter, block int) {
-	grads := make([]int32, w.gradsOf(block))
+	n := w.gradsOf(block)
+	if cap(w.gradScratch) < n {
+		w.gradScratch = make([]int32, n)
+	}
+	grads := w.gradScratch[:n]
 	for i := range grads {
 		// Deterministic synthetic gradients: verifiable sums downstream.
 		grads[i] = int32(w.ID + block + i)
@@ -222,8 +267,8 @@ func (w *Worker) iterComplete(iter int) bool {
 
 // OnFrame ingests a frame from the worker's NIC.
 func (w *Worker) OnFrame(frame []byte, at sim.Time) {
-	f, err := packet.Decode(frame)
-	if err != nil || !f.IsTrioML() {
+	f := &w.frame
+	if err := packet.DecodeInto(f, frame); err != nil || !f.IsTrioML() {
 		return
 	}
 	h := f.ML
@@ -245,6 +290,10 @@ func (w *Worker) OnFrame(frame []byte, at sim.Time) {
 		frac = 1
 	}
 	r.got[block] = frac
+	if t := w.retx[iter*w.cfg.Blocks+block]; t != nil {
+		t.h.Stop()
+		w.dropRetx(t)
+	}
 	if iter > w.maxSeen {
 		w.maxSeen = iter
 	}

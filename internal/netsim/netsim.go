@@ -36,10 +36,29 @@ type Link struct {
 	dst    Receiver
 	freeAt sim.Time
 	loss   *sim.RNG
+	free   *delivery // recycled arrival events
 
 	Frames  uint64
 	Bytes   uint64
 	Dropped uint64
+}
+
+// delivery carries one in-flight frame; instances recycle through Link.free
+// so steady-state sends allocate no event state.
+type delivery struct {
+	l     *Link
+	frame []byte
+	at    sim.Time
+	next  *delivery
+}
+
+func arriveEvent(arg any) {
+	d := arg.(*delivery)
+	l, frame, at := d.l, d.frame, d.at
+	d.l, d.frame = nil, nil
+	d.next = l.free
+	l.free = d
+	l.dst(frame, at)
 }
 
 // NewLink builds a link delivering to dst. A zero Bandwidth takes the
@@ -75,7 +94,15 @@ func (l *Link) Send(frame []byte) {
 		l.Dropped++
 		return
 	}
-	l.eng.At(arrive, func() { l.dst(frame, arrive) })
+	d := l.free
+	if d == nil {
+		d = &delivery{}
+	} else {
+		l.free = d.next
+		d.next = nil
+	}
+	d.l, d.frame, d.at = l, frame, arrive
+	l.eng.AtFunc(arrive, arriveEvent, d)
 }
 
 // Busy reports whether the link is still serializing previously sent frames.

@@ -14,6 +14,8 @@ type Frame struct {
 	ML      *TrioML // nil unless a Trio-ML aggregation packet
 	Payload []byte  // bytes after the innermost decoded header (view into Raw)
 	Raw     []byte  // the complete frame
+
+	mlBuf TrioML // storage ML points at, so DecodeInto reuse allocates nothing
 }
 
 // UDPSpec names the endpoints of a UDP packet to build.
@@ -25,9 +27,11 @@ type UDPSpec struct {
 	IPOptions        []byte
 }
 
-// BuildUDP serializes a complete Ethernet/IPv4/UDP frame around payload,
-// filling in lengths and both checksums.
-func BuildUDP(spec UDPSpec, payload []byte) []byte {
+// udpRoom allocates and header-fills a frame with room for payloadLen bytes
+// of UDP payload, returning the frame, the payload view, and the header
+// offsets finishUDP needs. Callers write the payload in place and then call
+// finishUDP — one allocation per frame, no payload staging copy.
+func udpRoom(spec UDPSpec, payloadLen int) (buf, payload []byte, ipStart, udpStart int) {
 	ttl := spec.TTL
 	if ttl == 0 {
 		ttl = 64
@@ -42,27 +46,39 @@ func BuildUDP(spec UDPSpec, payload []byte) []byte {
 	udp := UDP{
 		SrcPort: spec.SrcPort,
 		DstPort: spec.DstPort,
-		Length:  uint16(UDPLen + len(payload)),
+		Length:  uint16(UDPLen + payloadLen),
 	}
-	ip.TotalLen = uint16(ip.HeaderLen() + UDPLen + len(payload))
+	ip.TotalLen = uint16(ip.HeaderLen() + UDPLen + payloadLen)
 	eth := Ethernet{Dst: spec.DstMAC, Src: spec.SrcMAC, EtherType: EtherTypeIPv4}
 
-	buf := make([]byte, EthernetLen+int(ip.TotalLen))
+	buf = make([]byte, EthernetLen+int(ip.TotalLen))
 	off := eth.MarshalTo(buf)
-	ipStart := off
+	ipStart = off
 	off += ip.MarshalTo(buf[off:])
-	udpStart := off
+	udpStart = off
 	off += udp.MarshalTo(buf[off:])
-	copy(buf[off:], payload)
+	return buf, buf[off:], ipStart, udpStart
+}
 
+// finishUDP computes the UDP checksum once the payload is in place.
+func finishUDP(buf []byte, ipStart, udpStart int) {
 	csum := udpChecksum(buf[ipStart:], buf[udpStart:])
 	binary.BigEndian.PutUint16(buf[udpStart+6:udpStart+8], csum)
+}
+
+// BuildUDP serializes a complete Ethernet/IPv4/UDP frame around payload,
+// filling in lengths and both checksums.
+func BuildUDP(spec UDPSpec, payload []byte) []byte {
+	buf, room, ipStart, udpStart := udpRoom(spec, len(payload))
+	copy(room, payload)
+	finishUDP(buf, ipStart, udpStart)
 	return buf
 }
 
 // BuildTrioML serializes a Trio-ML aggregation packet: UDP payload is the
 // 12-byte trio_ml_hdr_t followed by hdr.GradCnt big-endian int32 gradients.
-// If hdr.GradCnt is zero it is set from len(grads).
+// If hdr.GradCnt is zero it is set from len(grads). The header and gradients
+// are marshalled straight into the frame buffer.
 func BuildTrioML(spec UDPSpec, hdr TrioML, grads []int32) []byte {
 	if len(grads) > MaxGradientsPerPacket {
 		panic(fmt.Sprintf("packet: %d gradients exceeds max %d per packet", len(grads), MaxGradientsPerPacket))
@@ -70,13 +86,14 @@ func BuildTrioML(spec UDPSpec, hdr TrioML, grads []int32) []byte {
 	if hdr.GradCnt == 0 {
 		hdr.GradCnt = uint16(len(grads))
 	}
-	payload := make([]byte, TrioMLHeaderLen+4*len(grads))
-	hdr.MarshalTo(payload)
-	PutGradients(payload[TrioMLHeaderLen:], grads)
 	if spec.DstPort == 0 {
 		spec.DstPort = TrioMLPort
 	}
-	return BuildUDP(spec, payload)
+	buf, room, ipStart, udpStart := udpRoom(spec, TrioMLHeaderLen+4*len(grads))
+	hdr.MarshalTo(room)
+	PutGradients(room[TrioMLHeaderLen:], grads)
+	finishUDP(buf, ipStart, udpStart)
+	return buf
 }
 
 // udpChecksum computes the UDP checksum given the serialized IP header (for
@@ -101,35 +118,46 @@ func udpChecksum(ipHdr, udpSeg []byte) uint16 {
 // decode successfully with Payload holding the undecoded remainder; header
 // corruption returns an error identifying the failing layer.
 func Decode(raw []byte) (*Frame, error) {
-	f := &Frame{Raw: raw}
+	f := &Frame{}
+	if err := DecodeInto(f, raw); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// DecodeInto parses raw into f, reusing f's storage — the per-packet
+// allocation-free variant of Decode for hot receive paths. On error f's
+// contents are unspecified.
+func DecodeInto(f *Frame, raw []byte) error {
+	f.ML = nil
+	f.Raw = raw
 	rest, err := f.Eth.Unmarshal(raw)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	f.Payload = rest
 	if f.Eth.EtherType != EtherTypeIPv4 {
-		return f, nil
+		return nil
 	}
 	if rest, err = f.IP.Unmarshal(rest); err != nil {
-		return nil, err
+		return err
 	}
 	f.Payload = rest
 	if f.IP.Protocol != ProtoUDP {
-		return f, nil
+		return nil
 	}
 	if rest, err = f.UDP.Unmarshal(rest); err != nil {
-		return nil, err
+		return err
 	}
 	f.Payload = rest
 	if f.UDP.DstPort == TrioMLPort {
-		var ml TrioML
-		if rest, err = ml.Unmarshal(rest); err != nil {
-			return nil, err
+		if rest, err = f.mlBuf.Unmarshal(rest); err != nil {
+			return err
 		}
-		f.ML = &ml
+		f.ML = &f.mlBuf
 		f.Payload = rest
 	}
-	return f, nil
+	return nil
 }
 
 // IsTrioML reports whether the frame carries a Trio-ML aggregation header.

@@ -82,11 +82,13 @@ type Switch struct {
 	Cfg    Config
 	Engine *sim.Engine
 
-	app   App
-	out   Output
-	regs  [][]int32 // [pipeline][stage*RegsPerStage + idx]
-	ports []sim.Time
-	stats Stats
+	app     App
+	out     Output
+	regs    [][]int32 // [pipeline][stage*RegsPerStage + idx]
+	ports   []sim.Time
+	stats   Stats
+	ctxFree *Ctx    // recycled pass contexts
+	outFree *outEvt // recycled egress events
 }
 
 // New builds a switch.
@@ -145,15 +147,40 @@ func (s *Switch) Inject(port int, frame []byte) {
 	s.pass(pkt, s.PipelineOfPort(port), 0)
 }
 
+// getCtx takes a pass context from the free list (or allocates one).
+func (s *Switch) getCtx() *Ctx {
+	c := s.ctxFree
+	if c == nil {
+		return &Ctx{sw: s, touched: make(map[int]bool)}
+	}
+	s.ctxFree = c.poolNext
+	c.poolNext = nil
+	c.sw = s
+	return c
+}
+
+// putCtx recycles a finished pass context, keeping its touched map and emit
+// slice storage but dropping every packet reference.
+func (s *Switch) putCtx(c *Ctx) {
+	clear(c.touched)
+	for i := range c.emits {
+		c.emits[i] = emit{}
+	}
+	touched, emits := c.touched, c.emits[:0]
+	*c = Ctx{touched: touched, emits: emits, poolNext: s.ctxFree}
+	s.ctxFree = c
+}
+
 // pass runs one pipeline traversal, recirculating as requested.
 func (s *Switch) pass(pkt *Packet, pipeline, nRecirc int) {
-	ctx := &Ctx{
-		sw:       s,
-		pkt:      pkt,
-		pipeline: pipeline,
-		now:      s.Engine.Now(),
-		touched:  make(map[int]bool),
-	}
+	ctx := s.getCtx()
+	ctx.pkt, ctx.pipeline, ctx.nRecirc = pkt, pipeline, nRecirc
+	ctx.now = s.Engine.Now()
+	s.runPass(ctx)
+}
+
+// runPass executes the app over a prepared context and schedules the exit.
+func (s *Switch) runPass(ctx *Ctx) {
 	recirc := false
 	if s.app != nil {
 		recirc = s.app.Process(ctx)
@@ -163,10 +190,36 @@ func (s *Switch) pass(pkt *Packet, pipeline, nRecirc int) {
 	exit := ctx.now + sim.Time(s.Cfg.Stages)*s.Cfg.StageLatency
 	if recirc {
 		s.stats.Recirculations++
-		s.Engine.At(exit+s.Cfg.RecircPenalty, func() { s.pass(pkt, pipeline, nRecirc+1) })
+		s.Engine.AtFunc(exit+s.Cfg.RecircPenalty, recircEvent, ctx)
 		return
 	}
-	s.Engine.At(exit, func() { s.finish(ctx) })
+	s.Engine.AtFunc(exit, finishEvent, ctx)
+}
+
+// recircEvent starts the next traversal of a recirculated packet, reusing the
+// same context with its per-pass state reset (emits from the aborted pass are
+// discarded, matching the one-pass-at-a-time PISA model).
+func recircEvent(arg any) {
+	ctx := arg.(*Ctx)
+	s := ctx.sw
+	clear(ctx.touched)
+	for i := range ctx.emits {
+		ctx.emits[i] = emit{}
+	}
+	ctx.emits = ctx.emits[:0]
+	ctx.stage = 0
+	ctx.forward = false
+	ctx.nRecirc++
+	ctx.now = s.Engine.Now()
+	s.runPass(ctx)
+}
+
+// finishEvent completes a pass at pipeline-exit time and recycles the context.
+func finishEvent(arg any) {
+	ctx := arg.(*Ctx)
+	s := ctx.sw
+	s.finish(ctx)
+	s.putCtx(ctx)
 }
 
 func (s *Switch) finish(ctx *Ctx) {
@@ -182,6 +235,24 @@ func (s *Switch) finish(ctx *Ctx) {
 	}
 }
 
+// outEvt carries one departing frame; instances recycle through Switch.outFree.
+type outEvt struct {
+	s     *Switch
+	port  int
+	frame []byte
+	at    sim.Time
+	next  *outEvt
+}
+
+func deliverOut(arg any) {
+	e := arg.(*outEvt)
+	s, port, frame, at := e.s, e.port, e.frame, e.at
+	e.s, e.frame = nil, nil
+	e.next = s.outFree
+	s.outFree = e
+	s.out(port, frame, at)
+}
+
 func (s *Switch) egress(port int, frame []byte) {
 	ser := sim.Time(uint64(len(frame)) * 8 * uint64(sim.Second) / s.Cfg.PortBandwidth)
 	start := s.Engine.Now()
@@ -192,7 +263,15 @@ func (s *Switch) egress(port int, frame []byte) {
 	s.ports[port] = depart
 	s.stats.BytesOut += uint64(len(frame))
 	if s.out != nil {
-		s.Engine.At(depart, func() { s.out(port, frame, depart) })
+		e := s.outFree
+		if e == nil {
+			e = &outEvt{}
+		} else {
+			s.outFree = e.next
+			e.next = nil
+		}
+		e.s, e.port, e.frame, e.at = s, port, frame, depart
+		s.Engine.AtFunc(depart, deliverOut, e)
 	}
 }
 
@@ -208,6 +287,7 @@ type Ctx struct {
 	sw       *Switch
 	pkt      *Packet
 	pipeline int
+	nRecirc  int
 	now      sim.Time
 	stage    int // high-water stage reached
 	touched  map[int]bool
@@ -215,6 +295,8 @@ type Ctx struct {
 	forward    bool
 	egressPort int
 	emits      []emit
+
+	poolNext *Ctx // Switch free-list link; contexts recycle after finish
 }
 
 // Packet returns the packet in flight.

@@ -1,17 +1,19 @@
 // Package sim provides a deterministic discrete-event simulation engine used
 // by every timed substrate in this repository (the Trio chip model, the PISA
-// pipeline model, links, and training workers).
+// pipeline model, links, fabric, and training workers).
 //
 // Time is virtual and measured in integer nanoseconds. Events scheduled for
 // the same instant fire in scheduling order, which makes every simulation in
 // the repository fully reproducible for a given seed.
+//
+// The scheduler (see engine.go) stores events by value in a slab with a free
+// list, fronts its 4-ary heap with a timer wheel for near-horizon events, and
+// offers an argument-passing schedule form (AtFunc/AfterFunc/EveryFunc) so
+// hot paths pay zero allocations per event in steady state. Every schedule
+// returns a cancellable Handle.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-	"time"
-)
+import "time"
 
 // Time is a virtual timestamp in nanoseconds since the start of a simulation.
 type Time int64
@@ -41,121 +43,3 @@ func (t Time) String() string { return time.Duration(t).String() }
 
 // FromDuration converts a wall-clock duration into simulation time.
 func FromDuration(d time.Duration) Time { return Time(d.Nanoseconds()) }
-
-type event struct {
-	at  Time
-	seq uint64 // tie-break: FIFO among equal timestamps
-	fn  func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-
-// Engine is a single-threaded discrete-event scheduler. It is not safe for
-// concurrent use; model concurrency by scheduling events, not goroutines.
-type Engine struct {
-	now      Time
-	seq      uint64
-	events   eventHeap
-	executed uint64
-	running  bool
-}
-
-// NewEngine returns an engine with the clock at zero and no pending events.
-func NewEngine() *Engine { return &Engine{} }
-
-// Now reports the current virtual time.
-func (e *Engine) Now() Time { return e.now }
-
-// Pending reports the number of scheduled events not yet executed.
-func (e *Engine) Pending() int { return len(e.events) }
-
-// Executed reports how many events have run since the engine was created.
-func (e *Engine) Executed() uint64 { return e.executed }
-
-// At schedules fn to run at absolute virtual time t. Scheduling in the past
-// panics: it always indicates a modelling bug, and silently reordering time
-// would make results meaningless.
-func (e *Engine) At(t Time, fn func()) {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: event scheduled at %v before now %v", t, e.now))
-	}
-	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
-}
-
-// After schedules fn to run d nanoseconds from now. Negative delays panic.
-func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
-
-// Step executes the earliest pending event, advancing the clock to its
-// timestamp. It reports whether an event was executed.
-func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
-		return false
-	}
-	ev := heap.Pop(&e.events).(*event)
-	e.now = ev.at
-	e.executed++
-	ev.fn()
-	return true
-}
-
-// Run executes events until none remain.
-func (e *Engine) Run() {
-	for e.Step() {
-	}
-}
-
-// RunUntil executes events with timestamps <= deadline, then sets the clock
-// to the deadline (even if the queue drained earlier).
-func (e *Engine) RunUntil(deadline Time) {
-	for len(e.events) > 0 && e.events[0].at <= deadline {
-		e.Step()
-	}
-	if e.now < deadline {
-		e.now = deadline
-	}
-}
-
-// RunFor advances the clock by d, executing all events that fall inside the
-// window.
-func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
-
-// Every schedules fn to run periodically with the given period, starting at
-// now+offset. It returns a stop function; after stop is called no further
-// firings occur. The period must be positive.
-func (e *Engine) Every(offset, period Time, fn func()) (stop func()) {
-	if period <= 0 {
-		panic("sim: Every requires a positive period")
-	}
-	stopped := false
-	var tick func()
-	tick = func() {
-		if stopped {
-			return
-		}
-		fn()
-		if !stopped {
-			e.After(period, tick)
-		}
-	}
-	e.After(offset, tick)
-	return func() { stopped = true }
-}

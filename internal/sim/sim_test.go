@@ -85,7 +85,7 @@ func TestEveryFiresPeriodicallyUntilStopped(t *testing.T) {
 	e := NewEngine()
 	var times []Time
 	stop := e.Every(5, 10, func() { times = append(times, e.Now()) })
-	e.At(36, func() { stop() })
+	e.At(36, func() { stop.Stop() })
 	e.RunUntil(100)
 	want := []Time{5, 15, 25, 35}
 	if len(times) != len(want) {

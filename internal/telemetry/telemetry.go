@@ -52,7 +52,7 @@ type Monitor struct {
 	next  uint64 // next free slot
 	heavy map[FlowKey]bool
 	stats Stats
-	stop  func()
+	stop  *pfe.TimerThreads
 }
 
 // Stats counts monitor activity.
@@ -97,10 +97,11 @@ func Attach(p *pfe.PFE, cfg Config) (*Monitor, error) {
 	return m, nil
 }
 
-// Stop halts the timer threads.
+// Stop cancels the timer threads; their pending firings leave the event
+// queue immediately, so a drained engine run terminates cleanly.
 func (m *Monitor) Stop() {
 	if m.stop != nil {
-		m.stop()
+		m.stop.Stop()
 	}
 }
 

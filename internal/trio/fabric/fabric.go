@@ -32,6 +32,26 @@ type Fabric struct {
 	paths  []sim.Time // freeAt per (src,dst) path
 	frames uint64
 	bytes  uint64
+	free   *crossing // recycled traversal events
+}
+
+// crossing carries one frame across the fabric; instances recycle through
+// Fabric.free so steady-state sends allocate no event state.
+type crossing struct {
+	f       *Fabric
+	deliver func(frame []byte, at sim.Time)
+	frame   []byte
+	at      sim.Time
+	next    *crossing
+}
+
+func arriveEvent(arg any) {
+	c := arg.(*crossing)
+	f, deliver, frame, at := c.f, c.deliver, c.frame, c.at
+	c.f, c.deliver, c.frame = nil, nil, nil
+	c.next = f.free
+	f.free = c
+	deliver(frame, at)
 }
 
 // New builds a fabric joining n endpoints.
@@ -63,7 +83,15 @@ func (f *Fabric) Send(src, dst int, frame []byte, deliver func(frame []byte, at 
 	arrive := depart + f.cfg.Latency
 	f.frames++
 	f.bytes += uint64(len(frame))
-	f.eng.At(arrive, func() { deliver(frame, arrive) })
+	c := f.free
+	if c == nil {
+		c = &crossing{}
+	} else {
+		f.free = c.next
+		c.next = nil
+	}
+	c.f, c.deliver, c.frame, c.at = f, deliver, frame, arrive
+	f.eng.AtFunc(arrive, arriveEvent, c)
 }
 
 // Frames reports the number of frames carried.

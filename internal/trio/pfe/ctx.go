@@ -31,6 +31,9 @@ type Ctx struct {
 	egressPort int
 	emits      []emit
 	stats      CtxStats
+
+	headBuf  []byte // pool-owned head storage; head aliases it until SetHead
+	poolNext *Ctx   // PFE free-list link; contexts recycle at completion
 }
 
 type emit struct {
@@ -51,7 +54,8 @@ func (c *Ctx) Packet() *Packet { return c.pkt }
 func (c *Ctx) Head() []byte { return c.head }
 
 // SetHead replaces the packet head (packet rewriting: PPEs "can easily
-// create new headers or consume/remove existing headers", §2.2).
+// create new headers or consume/remove existing headers", §2.2). The caller's
+// slice becomes the head view; it is never recycled into the context pool.
 func (c *Ctx) SetHead(h []byte) { c.head = h }
 
 // FrameLen reports the full packet length (head + tail).
@@ -116,6 +120,13 @@ func (c *Ctx) MemRead(addr uint64, size int) []byte {
 	return data
 }
 
+// MemReadInto is MemRead into caller-owned storage: identical timing, no
+// allocation on the per-packet path.
+func (c *Ctx) MemReadInto(addr uint64, b []byte) {
+	c.stats.XTXNs++
+	c.wait(c.pfe.Mem.ReadInto(c.now, addr, b))
+}
+
 // MemWrite issues a shared-memory write XTXN. Async writes do not suspend
 // the thread.
 func (c *Ctx) MemWrite(addr uint64, data []byte, async bool) {
@@ -138,6 +149,15 @@ func (c *Ctx) AddVector32(addr uint64, deltas []int32) {
 func (c *Ctx) ReadVector32(addr uint64, count int) []int32 {
 	c.stats.XTXNs++
 	vals, done := c.pfe.Mem.ReadVector32(c.now, addr, count)
+	c.wait(done)
+	return vals
+}
+
+// ReadVector32Append is ReadVector32 appending into dst: identical timing,
+// allocation-free when dst has capacity.
+func (c *Ctx) ReadVector32Append(addr uint64, count int, dst []int32) []int32 {
+	c.stats.XTXNs++
+	vals, done := c.pfe.Mem.ReadVector32Append(c.now, addr, count, dst)
 	c.wait(done)
 	return vals
 }

@@ -117,11 +117,15 @@ type PFE struct {
 	app     App
 	out     Output
 	pool    threadPool
-	queue   []*work
+	queue   []work // FIFO ring: live entries are queue[qhead:]
+	qhead   int
 	flows   map[uint64]*flowState
 	ports   []portState
 	stats   Stats
 	seqHint map[uint64]uint64
+
+	ctxFree *Ctx    // recycled thread contexts
+	outFree *outEvt // recycled egress delivery events
 }
 
 type portState struct {
@@ -133,9 +137,8 @@ type portState struct {
 
 // work is one unit for the thread pool: a packet or a timer firing.
 type work struct {
-	pkt   *Packet    // nil for timer work
-	run   func(*Ctx) // timer body when pkt is nil
-	label string     // for diagnostics
+	pkt   *Packet      // nil for timer work
+	timer *timerThread // set when pkt is nil
 }
 
 // threadPool tracks PPE thread availability as a count plus completion
@@ -229,14 +232,14 @@ func (p *PFE) Inject(port int, flow uint64, frame []byte) {
 		panic(fmt.Sprintf("pfe%d: inject on invalid port %d", p.Cfg.ID, port))
 	}
 	pkt := &Packet{Frame: frame, Port: port, Flow: flow, Arrival: p.Engine.Now()}
-	p.enqueue(&work{pkt: pkt, label: "packet"})
+	p.enqueue(work{pkt: pkt})
 }
 
 // enqueue adds work and dispatches if a thread is free.
-func (p *PFE) enqueue(w *work) {
+func (p *PFE) enqueue(w work) {
 	p.queue = append(p.queue, w)
-	if len(p.queue) > p.stats.MaxQueued {
-		p.stats.MaxQueued = len(p.queue)
+	if n := len(p.queue) - p.qhead; n > p.stats.MaxQueued {
+		p.stats.MaxQueued = n
 	}
 	p.tryDispatch()
 }
@@ -244,17 +247,52 @@ func (p *PFE) enqueue(w *work) {
 // tryDispatch starts queued work on free threads. It runs inside an event,
 // so p.Engine.Now() is the dispatch time.
 func (p *PFE) tryDispatch() {
-	for p.pool.free > 0 && len(p.queue) > 0 {
-		w := p.queue[0]
-		p.queue = p.queue[1:]
+	for p.pool.free > 0 && p.qhead < len(p.queue) {
+		w := p.queue[p.qhead]
+		p.queue[p.qhead] = work{}
+		p.qhead++
+		if p.qhead == len(p.queue) {
+			p.queue = p.queue[:0]
+			p.qhead = 0
+		}
 		p.pool.free--
 		p.runWork(w)
 	}
 }
 
+// getCtx takes a thread context from the free list (or makes one) and resets
+// it for a thread starting now. Contexts recycle at thread completion, so
+// steady-state packet and timer work allocates no Ctx.
+func (p *PFE) getCtx() *Ctx {
+	c := p.ctxFree
+	if c == nil {
+		c = &Ctx{}
+	} else {
+		p.ctxFree = c.poolNext
+		c.poolNext = nil
+	}
+	c.pfe = p
+	c.now = p.Engine.Now()
+	return c
+}
+
+// putCtx recycles a finished thread context, keeping the capacity of its
+// pool-owned head buffer and emit slice. A head installed via SetHead is
+// caller-owned and is dropped, not recycled.
+func (p *PFE) putCtx(c *Ctx) {
+	headBuf := c.headBuf[:0]
+	for i := range c.emits {
+		c.emits[i] = emit{}
+	}
+	emits := c.emits[:0]
+	*c = Ctx{headBuf: headBuf, emits: emits}
+	c.poolNext = p.ctxFree
+	p.ctxFree = c
+}
+
 // runWork executes one work item on a PPE thread starting now.
-func (p *PFE) runWork(w *work) {
-	ctx := &Ctx{pfe: p, now: p.Engine.Now()}
+func (p *PFE) runWork(w work) {
+	ctx := p.getCtx()
 	if w.pkt != nil {
 		p.stats.Dispatched++
 		pkt := w.pkt
@@ -262,7 +300,8 @@ func (p *PFE) runWork(w *work) {
 		// in the Packet Buffer (§2.1).
 		hl := pkt.headLen(p.Cfg.HeadBytes)
 		ctx.pkt = pkt
-		ctx.head = append([]byte(nil), pkt.Frame[:hl]...)
+		ctx.headBuf = append(ctx.headBuf[:0], pkt.Frame[:hl]...)
+		ctx.head = ctx.headBuf
 		ctx.tail = pkt.Frame[hl:]
 		// Register with the Reorder Engine before processing so that
 		// completion order cannot jump arrival order within a flow.
@@ -274,19 +313,25 @@ func (p *PFE) runWork(w *work) {
 		}
 	} else {
 		p.stats.TimerFirings++
-		w.run(ctx)
+		w.timer.body(ctx, w.timer.part)
 	}
 	p.stats.Instructions += ctx.stats.Instructions
 
-	done := ctx.now
-	p.Engine.At(done, func() {
-		p.pool.free++
-		if w.pkt != nil {
-			p.complete(ctx)
-		}
-		p.emitAll(ctx)
-		p.tryDispatch()
-	})
+	p.Engine.AtFunc(ctx.now, workDone, ctx)
+}
+
+// workDone is the thread-completion event: release the PPE thread, route the
+// verdict, flush emits, recycle the context, and pull in queued work.
+func workDone(arg any) {
+	ctx := arg.(*Ctx)
+	p := ctx.pfe
+	p.pool.free++
+	if ctx.pkt != nil {
+		p.complete(ctx)
+	}
+	p.emitAll(ctx)
+	p.putCtx(ctx)
+	p.tryDispatch()
 }
 
 // complete routes a finished packet thread's verdict through the Reorder
@@ -315,7 +360,6 @@ func (p *PFE) emitAll(ctx *Ctx) {
 		p.stats.Emitted++
 		p.egress(e.port, e.frame, p.Engine.Now())
 	}
-	ctx.emits = nil
 }
 
 // egress serializes a frame onto a port at the port's line rate and invokes
@@ -337,11 +381,35 @@ func (p *PFE) egress(port int, frame []byte, ready sim.Time) {
 	ps.busy += ser
 	p.stats.BytesOut += uint64(len(frame))
 	if p.out != nil {
-		frameCopy := frame
-		p.Engine.At(depart, func() {
-			p.out(port, frameCopy, depart)
-		})
+		o := p.outFree
+		if o == nil {
+			o = &outEvt{}
+		} else {
+			p.outFree = o.next
+			o.next = nil
+		}
+		o.p, o.port, o.frame, o.at = p, port, frame, depart
+		p.Engine.AtFunc(depart, deliverOut, o)
 	}
+}
+
+// outEvt carries one egress delivery; instances recycle through PFE.outFree
+// so steady-state egress allocates no event state.
+type outEvt struct {
+	p     *PFE
+	port  int
+	frame []byte
+	at    sim.Time
+	next  *outEvt
+}
+
+func deliverOut(arg any) {
+	o := arg.(*outEvt)
+	p, port, frame, at := o.p, o.port, o.frame, o.at
+	o.p, o.frame = nil, nil
+	o.next = p.outFree
+	p.outFree = o
+	p.out(port, frame, at)
 }
 
 // ---- Reorder Engine (§2.1) ----
@@ -389,26 +457,57 @@ func (p *PFE) reorderComplete(flow, seq uint64, frame []byte, port int) {
 
 // ---- Timer threads (§5) ----
 
+// timerThread is one §5 periodic thread: its slot in the engine re-arms in
+// place and each firing enqueues the same work value, so steady-state timer
+// firing allocates nothing.
+type timerThread struct {
+	p    *PFE
+	part int
+	body func(ctx *Ctx, part int)
+}
+
+func timerFire(arg any) {
+	tt := arg.(*timerThread)
+	tt.p.enqueue(work{timer: tt})
+}
+
+// TimerThreads is a cancellable handle on a group of §5 timer threads. Stop
+// removes every pending tick from the event queue (the old stop-closure left
+// dead ticks queued).
+type TimerThreads struct {
+	handles []sim.Handle
+}
+
+// Stop cancels all threads in the group. Safe to call more than once.
+func (t *TimerThreads) Stop() {
+	for _, h := range t.handles {
+		h.Stop()
+	}
+}
+
+// Active reports whether any thread in the group is still armed.
+func (t *TimerThreads) Active() bool {
+	for _, h := range t.handles {
+		if h.Active() {
+			return true
+		}
+	}
+	return false
+}
+
 // StartTimerThreads launches n periodic timer threads with the given overall
 // period, phase-staggered so back-to-back firings are period/n apart. Each
 // firing occupies a PPE thread (any PPE, based on availability — no PPE is
-// reserved) and runs body with its partition index. It returns a stop
-// function.
-func (p *PFE) StartTimerThreads(n int, period sim.Time, body func(ctx *Ctx, part int)) (stop func()) {
+// reserved) and runs body with its partition index.
+func (p *PFE) StartTimerThreads(n int, period sim.Time, body func(ctx *Ctx, part int)) *TimerThreads {
 	if n <= 0 || period <= 0 {
 		panic("pfe: timer threads require n > 0 and a positive period")
 	}
-	stops := make([]func(), n)
+	g := &TimerThreads{handles: make([]sim.Handle, n)}
 	for i := 0; i < n; i++ {
-		part := i
-		offset := period * sim.Time(part) / sim.Time(n)
-		stops[i] = p.Engine.Every(offset, period, func() {
-			p.enqueue(&work{run: func(ctx *Ctx) { body(ctx, part) }, label: "timer"})
-		})
+		tt := &timerThread{p: p, part: i, body: body}
+		offset := period * sim.Time(i) / sim.Time(n)
+		g.handles[i] = p.Engine.EveryFunc(offset, period, timerFire, tt)
 	}
-	return func() {
-		for _, s := range stops {
-			s()
-		}
-	}
+	return g
 }

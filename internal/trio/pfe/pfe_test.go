@@ -374,7 +374,7 @@ func TestTimerStop(t *testing.T) {
 	count := 0
 	stop := p.StartTimerThreads(1, 100*sim.Nanosecond, func(ctx *Ctx, part int) { count++ })
 	eng.RunUntil(350 * sim.Nanosecond)
-	stop()
+	stop.Stop()
 	eng.RunUntil(10 * sim.Microsecond)
 	if count != 4 {
 		t.Fatalf("count = %d, want 4 firings (t=0,100,200,300) before stop", count)

@@ -123,15 +123,24 @@ func (m *Memory) AddVector32(now sim.Time, addr uint64, deltas []int32) sim.Time
 	var latest sim.Time
 	for i := 0; i < len(deltas); i += 2 {
 		wordAddr := addr + uint64(4*i)
-		var b [8]byte
-		m.load(wordAddr, b[:])
-		v0 := int32(binary.BigEndian.Uint32(b[0:4])) + deltas[i]
-		binary.BigEndian.PutUint32(b[0:4], uint32(v0))
-		if i+1 < len(deltas) {
-			v1 := int32(binary.BigEndian.Uint32(b[4:8])) + deltas[i+1]
-			binary.BigEndian.PutUint32(b[4:8], uint32(v1))
+		if w := m.word(wordAddr); w != nil {
+			v0 := int32(binary.BigEndian.Uint32(w[0:4])) + deltas[i]
+			binary.BigEndian.PutUint32(w[0:4], uint32(v0))
+			if i+1 < len(deltas) {
+				v1 := int32(binary.BigEndian.Uint32(w[4:8])) + deltas[i+1]
+				binary.BigEndian.PutUint32(w[4:8], uint32(v1))
+			}
+		} else {
+			var b [8]byte
+			m.load(wordAddr, b[:])
+			v0 := int32(binary.BigEndian.Uint32(b[0:4])) + deltas[i]
+			binary.BigEndian.PutUint32(b[0:4], uint32(v0))
+			if i+1 < len(deltas) {
+				v1 := int32(binary.BigEndian.Uint32(b[4:8])) + deltas[i+1]
+				binary.BigEndian.PutUint32(b[4:8], uint32(v1))
+			}
+			m.store(wordAddr, b[:])
 		}
-		m.store(wordAddr, b[:])
 		done := m.complete(wordAddr, m.occupy(m.engineFor(wordAddr), now, addCycles))
 		if done > latest {
 			latest = done
@@ -143,23 +152,32 @@ func (m *Memory) AddVector32(now sim.Time, addr uint64, deltas []int32) sim.Time
 // ReadVector32 reads count consecutive 32-bit words starting at addr via the
 // data path in 64-byte transactions, returning values and completion time.
 func (m *Memory) ReadVector32(now sim.Time, addr uint64, count int) ([]int32, sim.Time) {
-	out := make([]int32, count)
+	return m.ReadVector32Append(now, addr, count, make([]int32, 0, count))
+}
+
+// ReadVector32Append is ReadVector32 appending into dst (returned possibly
+// regrown): identical transaction accounting, no allocation when dst has
+// capacity.
+func (m *Memory) ReadVector32Append(now sim.Time, addr uint64, count int, dst []int32) ([]int32, sim.Time) {
 	var latest sim.Time
+	var b [64]byte
+	read := 0
 	for off := 0; off < 4*count; off += 64 {
 		n := 4*count - off
 		if n > 64 {
 			n = 64
 		}
 		n = (n + 7) &^ 7
-		b, done := m.Read(now, addr+uint64(off), n)
+		done := m.ReadInto(now, addr+uint64(off), b[:n])
 		if done > latest {
 			latest = done
 		}
-		for i := 0; i*4 < len(b) && off/4+i < count; i++ {
-			out[off/4+i] = int32(binary.BigEndian.Uint32(b[4*i:]))
+		for i := 0; i*4 < n && read < count; i++ {
+			dst = append(dst, int32(binary.BigEndian.Uint32(b[4*i:])))
+			read++
 		}
 	}
-	return out, latest
+	return dst, latest
 }
 
 // Policer state occupies 24 bytes: 8-byte token count (milli-tokens),

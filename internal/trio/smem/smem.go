@@ -111,6 +111,12 @@ type Memory struct {
 	pages   map[uint64]*[pageSize]byte
 	engines []engine
 	allocs  [numTiers]uint64 // bump-allocator cursors, relative to tier base
+
+	// One-entry page cache: data-path access runs in tight sequential
+	// bursts (gradient vectors, record fields), so the last page hit
+	// answers nearly every lookup without touching the page map.
+	lastPageIdx uint64
+	lastPage    *[pageSize]byte
 }
 
 // New builds a memory system from cfg; zero fields take defaults.
@@ -189,12 +195,29 @@ func (m *Memory) engineFor(addr uint64) *engine {
 
 // page returns the backing page containing addr, allocating it on demand.
 func (m *Memory) page(addr uint64) *[pageSize]byte {
-	p, ok := m.pages[addr/pageSize]
+	idx := addr / pageSize
+	if p := m.lastPage; p != nil && idx == m.lastPageIdx {
+		return p
+	}
+	p, ok := m.pages[idx]
 	if !ok {
 		p = new([pageSize]byte)
-		m.pages[addr/pageSize] = p
+		m.pages[idx] = p
 	}
+	m.lastPageIdx, m.lastPage = idx, p
 	return p
+}
+
+// word returns a direct view of the 8-byte word at addr when it does not
+// straddle a page boundary (always true for the 8-byte-aligned addresses the
+// RMW ops use), or nil when the caller must fall back to load/store.
+func (m *Memory) word(addr uint64) []byte {
+	off := addr % pageSize
+	if off+8 > pageSize {
+		return nil
+	}
+	p := m.page(addr)
+	return p[off : off+8 : off+8]
 }
 
 func (m *Memory) load(addr uint64, b []byte) {
@@ -252,10 +275,25 @@ func (m *Memory) occupy(e *engine, now sim.Time, cycles uint64) sim.Time {
 	return now + queue + sim.Time(cycles)*m.cfg.CycleTime
 }
 
+// latencyOf is TierOf reduced to the latency field: a branch ladder over the
+// precomputed tier boundaries instead of a struct-copying scan.
+func (m *Memory) latencyOf(addr uint64) sim.Time {
+	if addr < m.tiers[TierCache].Base {
+		return m.tiers[TierSRAM].Latency
+	}
+	if addr < m.tiers[TierDRAM].Base {
+		return m.tiers[TierCache].Latency
+	}
+	if addr < m.tiers[TierDRAM].Base+m.tiers[TierDRAM].Size {
+		return m.tiers[TierDRAM].Latency
+	}
+	panic(fmt.Sprintf("smem: address %#x outside unified address space", addr))
+}
+
 // complete computes the PPE-observed completion time of a request to addr
 // whose engine finishes at engineDone.
 func (m *Memory) complete(addr uint64, engineDone sim.Time) sim.Time {
-	return engineDone + m.TierOf(addr).Latency
+	return engineDone + m.latencyOf(addr)
 }
 
 func checkTxnSize(size int) {
@@ -267,11 +305,17 @@ func checkTxnSize(size int) {
 // Read performs a read transaction of 8–64 bytes (8-byte increments),
 // returning the data and the virtual completion time.
 func (m *Memory) Read(now sim.Time, addr uint64, size int) ([]byte, sim.Time) {
-	checkTxnSize(size)
 	b := make([]byte, size)
+	return b, m.ReadInto(now, addr, b)
+}
+
+// ReadInto is Read into caller-owned storage: identical transaction
+// accounting, no allocation. len(b) must be a legal transaction size.
+func (m *Memory) ReadInto(now sim.Time, addr uint64, b []byte) sim.Time {
+	checkTxnSize(len(b))
 	m.load(addr, b)
-	done := m.occupy(m.engineFor(addr), now, serviceCycles(size, 1))
-	return b, m.complete(addr, done)
+	done := m.occupy(m.engineFor(addr), now, serviceCycles(len(b), 1))
+	return m.complete(addr, done)
 }
 
 // Write performs a write transaction of 8–64 bytes (8-byte increments).

@@ -41,9 +41,9 @@ type advancedState struct {
 
 // StartAdvancedMitigation provisions per-source straggler-event counters for
 // every installed job and launches the slow analysis thread. Call it after
-// the jobs are installed and alongside StartStragglerDetection. It returns a
-// stop function.
-func (a *Aggregator) StartAdvancedMitigation(cfg AdvancedConfig) (stop func()) {
+// the jobs are installed and alongside StartStragglerDetection. It returns
+// the thread's cancellable handle set.
+func (a *Aggregator) StartAdvancedMitigation(cfg AdvancedConfig) *pfe.TimerThreads {
 	if cfg.AnalyzePeriod == 0 {
 		cfg.AnalyzePeriod = 100 * sim.Millisecond
 	}

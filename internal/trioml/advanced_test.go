@@ -18,7 +18,7 @@ func deadWorkerRig(t *testing.T, threshold uint64) (*rig, func()) {
 		AnalyzePeriod:  20 * sim.Millisecond,
 		EventThreshold: threshold,
 	})
-	return r, func() { stopFast(); stopSlow() }
+	return r, func() { stopFast.Stop(); stopSlow.Stop() }
 }
 
 // sendAlive has workers 0..2 contribute block b (worker 3 stays dark).

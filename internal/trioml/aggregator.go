@@ -111,6 +111,14 @@ type Aggregator struct {
 	OnDemotion func(jobID, src uint8, at sim.Time)
 
 	advanced *advancedState
+
+	// Per-packet scratch, reused across Process calls. The simulation is
+	// single-threaded and a context runs to completion, so one set suffices;
+	// this keeps the Fig. 10 fast path allocation-free.
+	frame packet.Frame
+	gs    gradStream
+	rec   [recordTxnBytes]byte // record read/write staging
+	res   []int32              // result-build gradient accumulator
 }
 
 // New installs a Trio-ML aggregator as p's application.
@@ -211,8 +219,8 @@ func (a *Aggregator) RemoveJob(jobID uint8) {
 // Process implements pfe.App: the Fig. 10 workflow.
 func (a *Aggregator) Process(ctx *pfe.Ctx) {
 	ctx.ChargeInstr(instrPacketOverhead)
-	f, err := packet.Decode(ctx.Head())
-	if err != nil || !f.IsTrioML() {
+	f := &a.frame
+	if err := packet.DecodeInto(f, ctx.Head()); err != nil || !f.IsTrioML() {
 		a.stats.NonAggPkts++
 		if a.Fallback != nil {
 			a.Fallback.Process(ctx)
@@ -236,7 +244,8 @@ func (a *Aggregator) Process(ctx *pfe.Ctx) {
 	var rec BlockRecord
 	creating := false
 	if found {
-		rec = decodeBlock(ctx.MemRead(recAddr, recordTxnBytes))
+		ctx.MemReadInto(recAddr, a.rec[:])
+		rec = decodeBlock(a.rec[:])
 		switch {
 		case h.GenID == rec.GenID && maskBit(&rec.RcvdMask, h.SrcID):
 			a.stats.Duplicates++
@@ -267,7 +276,8 @@ func (a *Aggregator) Process(ctx *pfe.Ctx) {
 			ctx.Drop()
 			return
 		}
-		job := decodeJob(ctx.MemRead(jobAddr, recordTxnBytes))
+		ctx.MemReadInto(jobAddr, a.rec[:])
+		job := decodeJob(a.rec[:])
 		if !maskBit(&job.SrcMask, h.SrcID) || int(h.GradCnt) > int(job.BlockGradMax) || h.GradCnt == 0 {
 			a.stats.NonAggPkts++
 			ctx.Drop()
@@ -318,7 +328,8 @@ func (a *Aggregator) Process(ctx *pfe.Ctx) {
 	a.stats.GradsAggregated += uint64(h.GradCnt)
 
 	// Completeness check against the job record's source count.
-	job := decodeJob(ctx.MemRead(uint64(rec.JobCtxPAddr), recordTxnBytes))
+	ctx.MemReadInto(uint64(rec.JobCtxPAddr), a.rec[:])
+	job := decodeJob(a.rec[:])
 	if rec.RcvdCnt >= job.SrcCnt {
 		a.finishBlock(ctx, js, blockKey, recAddr, rec, job, false)
 	} else {
@@ -333,61 +344,101 @@ func (a *Aggregator) Process(ctx *pfe.Ctx) {
 // genOlder reports whether a precedes b in modular 16-bit generation order.
 func genOlder(a, b uint16) bool { return int16(a-b) < 0 }
 
+// gradStream is the streaming state of aggregateGradients. It lives on the
+// Aggregator so the batch and staging buffers are reused across packets —
+// the tail-aggregation loop runs per packet and must not allocate.
+type gradStream struct {
+	ctx        *pfe.Ctx
+	bufAddr    uint64
+	first      bool
+	totalGrads int
+	gradIdx    int
+	batch      []int32 // always backed by batchBuf
+	batchBuf   [chunkGrads]int32
+	carry      [4]byte // partial gradient straddling head/tail or chunk edges
+	carryLen   int
+	wbuf       [4*chunkGrads + 8]byte // first-source write staging
+}
+
+func (g *gradStream) push(v int32) {
+	g.batch = append(g.batch, v)
+	g.gradIdx++
+	if len(g.batch) == chunkGrads {
+		g.ctx.ChargeInstr(instrPerChunk)
+		g.flush()
+	}
+}
+
+func (g *gradStream) flush() {
+	if len(g.batch) == 0 {
+		return
+	}
+	addr := g.bufAddr + uint64(4*(g.gradIdx-len(g.batch)))
+	if g.first {
+		n := 4 * len(g.batch)
+		packet.PutGradients(g.wbuf[:n], g.batch)
+		// Pad to the 8-byte transaction grain.
+		for ; n%8 != 0; n++ {
+			g.wbuf[n] = 0
+		}
+		g.ctx.MemWrite(addr, g.wbuf[:n], true)
+	} else {
+		g.ctx.AddVector32(addr, g.batch)
+	}
+	g.batch = g.batch[:0]
+}
+
+func (g *gradStream) consume(b []byte) {
+	if g.carryLen > 0 {
+		n := copy(g.carry[g.carryLen:], b)
+		g.carryLen += n
+		b = b[n:]
+		if g.carryLen < 4 {
+			return
+		}
+		g.carryLen = 0
+		if g.gradIdx < g.totalGrads {
+			g.push(int32(binary.BigEndian.Uint32(g.carry[:])))
+		}
+	}
+	for len(b) >= 4 && g.gradIdx < g.totalGrads {
+		g.push(int32(binary.BigEndian.Uint32(b)))
+		b = b[4:]
+	}
+	if len(b) > 0 {
+		g.carryLen = copy(g.carry[:], b)
+	}
+}
+
 // aggregateGradients streams the packet's gradient bytes — head first, then
 // the tail in 64-byte chunks — and issues one RMW engine vector op per
 // 16-gradient batch. The first source of a block writes (initializing the
 // buffer); later sources add.
 func (a *Aggregator) aggregateGradients(ctx *pfe.Ctx, f *packet.Frame, h *packet.TrioML, bufAddr uint64, firstSource bool) {
 	hdrLen := packet.EthernetLen + f.IP.HeaderLen() + packet.UDPLen + packet.TrioMLHeaderLen
-	total := 4 * int(h.GradCnt)
 	head := ctx.Head()
 
-	var carry []byte // partial gradient straddling head/tail or chunk edges
-	gradIdx := 0
-	batch := make([]int32, 0, chunkGrads)
-
-	flush := func() {
-		if len(batch) == 0 {
-			return
-		}
-		addr := bufAddr + uint64(4*(gradIdx-len(batch)))
-		if firstSource {
-			buf := make([]byte, 4*len(batch))
-			packet.PutGradients(buf, batch)
-			// Pad to the 8-byte transaction grain.
-			if len(buf)%8 != 0 {
-				buf = append(buf, make([]byte, 8-len(buf)%8)...)
-			}
-			ctx.MemWrite(addr, buf, true)
-		} else {
-			ctx.AddVector32(addr, batch)
-		}
-		batch = batch[:0]
-	}
-	consume := func(b []byte) {
-		carry = append(carry, b...)
-		for len(carry) >= 4 && gradIdx*4 < total {
-			batch = append(batch, int32(binary.BigEndian.Uint32(carry)))
-			carry = carry[4:]
-			gradIdx++
-			if len(batch) == chunkGrads {
-				ctx.ChargeInstr(instrPerChunk)
-				flush()
-			}
-		}
-	}
+	g := &a.gs
+	g.ctx = ctx
+	g.bufAddr = bufAddr
+	g.first = firstSource
+	g.totalGrads = int(h.GradCnt)
+	g.gradIdx = 0
+	g.batch = g.batchBuf[:0]
+	g.carryLen = 0
 
 	if hdrLen < len(head) {
-		consume(head[hdrLen:])
+		g.consume(head[hdrLen:])
 	}
 	// Phase two: tail loop, 64 bytes per XTXN.
-	for off := 0; off < ctx.TailLen() && gradIdx*4 < total; off += 64 {
-		consume(ctx.ReadTail(off, 64))
+	for off := 0; off < ctx.TailLen() && g.gradIdx < g.totalGrads; off += 64 {
+		g.consume(ctx.ReadTail(off, 64))
 	}
-	if len(batch) > 0 {
-		ctx.ChargeInstr(instrPerChunk * len(batch) / chunkGrads)
-		flush()
+	if len(g.batch) > 0 {
+		ctx.ChargeInstr(instrPerChunk * len(g.batch) / chunkGrads)
+		g.flush()
 	}
+	g.ctx = nil
 }
 
 // finishBlock generates the Result packet, recycles the block's resources,
@@ -396,15 +447,16 @@ func (a *Aggregator) aggregateGradients(ctx *pfe.Ctx, f *packet.Frame, h *packet
 func (a *Aggregator) finishBlock(ctx *pfe.Ctx, js *jobState, blockKey uint64, recAddr uint64, rec BlockRecord, job JobRecord, degraded bool) {
 	// Result-build loop: pull 256-byte chunks from the aggregation buffer
 	// and write them to the Packet Buffer (Fig. 10).
-	grads := make([]int32, 0, rec.GradCnt)
+	grads := a.res[:0]
 	for off := 0; off < int(rec.GradCnt); off += resultChunkGrads {
 		n := int(rec.GradCnt) - off
 		if n > resultChunkGrads {
 			n = resultChunkGrads
 		}
 		ctx.ChargeInstr(instrPerResultChunk)
-		grads = append(grads, ctx.ReadVector32(uint64(rec.AggrPAddr)+uint64(4*off), n)...)
+		grads = ctx.ReadVector32Append(uint64(rec.AggrPAddr)+uint64(4*off), n, grads)
 	}
+	a.res = grads
 	ctx.ChargeInstr(instrResultHeader)
 
 	_, blockID := SplitKey(blockKey)
@@ -475,15 +527,19 @@ func (a *Aggregator) distribute(ctx *pfe.Ctx, h *packet.TrioML) {
 }
 
 // writeBlock persists a block record (asynchronous 64-byte write-back).
+// The shared staging buffer is cleared first so padding bits stay zero,
+// exactly as with a fresh allocation.
 func (a *Aggregator) writeBlock(ctx *pfe.Ctx, addr uint64, rec BlockRecord) {
-	b := make([]byte, recordTxnBytes)
+	b := a.rec[:]
+	clear(b)
 	rec.encode(b)
 	ctx.MemWrite(addr, b, true)
 }
 
 // writeJob persists a job record.
 func (a *Aggregator) writeJob(ctx *pfe.Ctx, addr uint64, job JobRecord) {
-	b := make([]byte, recordTxnBytes)
+	b := a.rec[:]
+	clear(b)
 	job.encode(b)
 	ctx.MemWrite(addr, b, true)
 }

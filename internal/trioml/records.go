@@ -77,6 +77,48 @@ var blockLayout = bitfield.NewLayout(
 // paper); records are read and written as 64-byte memory transactions.
 var RecordBytes = jobLayout.Bytes()
 
+// Pre-resolved field handles: codec hot paths run per packet, so the name
+// lookups are paid once here rather than on every encode/decode.
+var (
+	jobF = struct {
+		blockCurrCnt, blockCntMax, blockGradMax, blockExp, blockTotalCnt,
+		outSrcAddr, outDstAddr, outNhAddr, srcCnt bitfield.Handle
+		srcMask [4]bitfield.Handle
+	}{
+		blockCurrCnt:  jobLayout.Handle("block_curr_cnt"),
+		blockCntMax:   jobLayout.Handle("block_cnt_max"),
+		blockGradMax:  jobLayout.Handle("block_grad_max"),
+		blockExp:      jobLayout.Handle("block_exp"),
+		blockTotalCnt: jobLayout.Handle("block_total_cnt"),
+		outSrcAddr:    jobLayout.Handle("out_src_addr"),
+		outDstAddr:    jobLayout.Handle("out_dst_addr"),
+		outNhAddr:     jobLayout.Handle("out_nh_addr"),
+		srcCnt:        jobLayout.Handle("src_cnt"),
+		srcMask: [4]bitfield.Handle{
+			jobLayout.Handle("src_mask_0"), jobLayout.Handle("src_mask_1"),
+			jobLayout.Handle("src_mask_2"), jobLayout.Handle("src_mask_3"),
+		},
+	}
+	blockF = struct {
+		blockExp, blockAge, blockStartTime, jobCtxPAddr, aggrPAddr,
+		gradCnt, genID, rcvdCnt bitfield.Handle
+		rcvdMask [4]bitfield.Handle
+	}{
+		blockExp:       blockLayout.Handle("block_exp"),
+		blockAge:       blockLayout.Handle("block_age"),
+		blockStartTime: blockLayout.Handle("block_start_time"),
+		jobCtxPAddr:    blockLayout.Handle("job_ctx_paddr"),
+		aggrPAddr:      blockLayout.Handle("aggr_paddr"),
+		gradCnt:        blockLayout.Handle("grad_cnt"),
+		genID:          blockLayout.Handle("gen_id"),
+		rcvdCnt:        blockLayout.Handle("rcvd_cnt"),
+		rcvdMask: [4]bitfield.Handle{
+			blockLayout.Handle("rcvd_mask_0"), blockLayout.Handle("rcvd_mask_1"),
+			blockLayout.Handle("rcvd_mask_2"), blockLayout.Handle("rcvd_mask_3"),
+		},
+	}
+)
+
 // recordTxnBytes rounds the record size up to the 8-byte transaction grain.
 const recordTxnBytes = 64
 
@@ -95,33 +137,33 @@ type JobRecord struct {
 }
 
 func (j *JobRecord) encode(b []byte) {
-	jobLayout.Put(b, "block_curr_cnt", uint64(j.BlockCurrCnt))
-	jobLayout.Put(b, "block_cnt_max", uint64(j.BlockCntMax))
-	jobLayout.Put(b, "block_grad_max", uint64(j.BlockGradMax))
-	jobLayout.Put(b, "block_exp", uint64(j.BlockExpMs))
-	jobLayout.Put(b, "block_total_cnt", uint64(j.BlockTotalCnt))
-	jobLayout.Put(b, "out_src_addr", uint64(j.OutSrcAddr))
-	jobLayout.Put(b, "out_dst_addr", uint64(j.OutDstAddr))
-	jobLayout.Put(b, "out_nh_addr", uint64(j.OutNhAddr))
-	jobLayout.Put(b, "src_cnt", uint64(j.SrcCnt))
+	jobF.blockCurrCnt.Put(b, uint64(j.BlockCurrCnt))
+	jobF.blockCntMax.Put(b, uint64(j.BlockCntMax))
+	jobF.blockGradMax.Put(b, uint64(j.BlockGradMax))
+	jobF.blockExp.Put(b, uint64(j.BlockExpMs))
+	jobF.blockTotalCnt.Put(b, uint64(j.BlockTotalCnt))
+	jobF.outSrcAddr.Put(b, uint64(j.OutSrcAddr))
+	jobF.outDstAddr.Put(b, uint64(j.OutDstAddr))
+	jobF.outNhAddr.Put(b, uint64(j.OutNhAddr))
+	jobF.srcCnt.Put(b, uint64(j.SrcCnt))
 	for i, m := range j.SrcMask {
-		jobLayout.Put(b, maskField("src_mask_", i), m)
+		jobF.srcMask[i].Put(b, m)
 	}
 }
 
 func decodeJob(b []byte) JobRecord {
 	var j JobRecord
-	j.BlockCurrCnt = uint16(jobLayout.Get(b, "block_curr_cnt"))
-	j.BlockCntMax = uint16(jobLayout.Get(b, "block_cnt_max"))
-	j.BlockGradMax = uint16(jobLayout.Get(b, "block_grad_max"))
-	j.BlockExpMs = uint8(jobLayout.Get(b, "block_exp"))
-	j.BlockTotalCnt = uint32(jobLayout.Get(b, "block_total_cnt"))
-	j.OutSrcAddr = uint32(jobLayout.Get(b, "out_src_addr"))
-	j.OutDstAddr = uint32(jobLayout.Get(b, "out_dst_addr"))
-	j.OutNhAddr = uint32(jobLayout.Get(b, "out_nh_addr"))
-	j.SrcCnt = uint8(jobLayout.Get(b, "src_cnt"))
+	j.BlockCurrCnt = uint16(jobF.blockCurrCnt.Get(b))
+	j.BlockCntMax = uint16(jobF.blockCntMax.Get(b))
+	j.BlockGradMax = uint16(jobF.blockGradMax.Get(b))
+	j.BlockExpMs = uint8(jobF.blockExp.Get(b))
+	j.BlockTotalCnt = uint32(jobF.blockTotalCnt.Get(b))
+	j.OutSrcAddr = uint32(jobF.outSrcAddr.Get(b))
+	j.OutDstAddr = uint32(jobF.outDstAddr.Get(b))
+	j.OutNhAddr = uint32(jobF.outNhAddr.Get(b))
+	j.SrcCnt = uint8(jobF.srcCnt.Get(b))
 	for i := range j.SrcMask {
-		j.SrcMask[i] = jobLayout.Get(b, maskField("src_mask_", i))
+		j.SrcMask[i] = jobF.srcMask[i].Get(b)
 	}
 	return j
 }
@@ -140,37 +182,33 @@ type BlockRecord struct {
 }
 
 func (r *BlockRecord) encode(b []byte) {
-	blockLayout.Put(b, "block_exp", uint64(r.BlockExpMs))
-	blockLayout.Put(b, "block_age", uint64(r.BlockAge))
-	blockLayout.Put(b, "block_start_time", uint64(r.BlockStartTime))
-	blockLayout.Put(b, "job_ctx_paddr", uint64(r.JobCtxPAddr))
-	blockLayout.Put(b, "aggr_paddr", uint64(r.AggrPAddr))
-	blockLayout.Put(b, "grad_cnt", uint64(r.GradCnt))
-	blockLayout.Put(b, "gen_id", uint64(r.GenID))
-	blockLayout.Put(b, "rcvd_cnt", uint64(r.RcvdCnt))
+	blockF.blockExp.Put(b, uint64(r.BlockExpMs))
+	blockF.blockAge.Put(b, uint64(r.BlockAge))
+	blockF.blockStartTime.Put(b, uint64(r.BlockStartTime))
+	blockF.jobCtxPAddr.Put(b, uint64(r.JobCtxPAddr))
+	blockF.aggrPAddr.Put(b, uint64(r.AggrPAddr))
+	blockF.gradCnt.Put(b, uint64(r.GradCnt))
+	blockF.genID.Put(b, uint64(r.GenID))
+	blockF.rcvdCnt.Put(b, uint64(r.RcvdCnt))
 	for i, m := range r.RcvdMask {
-		blockLayout.Put(b, maskField("rcvd_mask_", i), m)
+		blockF.rcvdMask[i].Put(b, m)
 	}
 }
 
 func decodeBlock(b []byte) BlockRecord {
 	var r BlockRecord
-	r.BlockExpMs = uint8(blockLayout.Get(b, "block_exp"))
-	r.BlockAge = uint8(blockLayout.Get(b, "block_age"))
-	r.BlockStartTime = sim.Time(blockLayout.Get(b, "block_start_time"))
-	r.JobCtxPAddr = uint32(blockLayout.Get(b, "job_ctx_paddr"))
-	r.AggrPAddr = uint32(blockLayout.Get(b, "aggr_paddr"))
-	r.GradCnt = uint16(blockLayout.Get(b, "grad_cnt"))
-	r.GenID = uint16(blockLayout.Get(b, "gen_id"))
-	r.RcvdCnt = uint8(blockLayout.Get(b, "rcvd_cnt"))
+	r.BlockExpMs = uint8(blockF.blockExp.Get(b))
+	r.BlockAge = uint8(blockF.blockAge.Get(b))
+	r.BlockStartTime = sim.Time(blockF.blockStartTime.Get(b))
+	r.JobCtxPAddr = uint32(blockF.jobCtxPAddr.Get(b))
+	r.AggrPAddr = uint32(blockF.aggrPAddr.Get(b))
+	r.GradCnt = uint16(blockF.gradCnt.Get(b))
+	r.GenID = uint16(blockF.genID.Get(b))
+	r.RcvdCnt = uint8(blockF.rcvdCnt.Get(b))
 	for i := range r.RcvdMask {
-		r.RcvdMask[i] = blockLayout.Get(b, maskField("rcvd_mask_", i))
+		r.RcvdMask[i] = blockF.rcvdMask[i].Get(b)
 	}
 	return r
-}
-
-func maskField(prefix string, i int) string {
-	return prefix + string(rune('0'+i))
 }
 
 // maskBit reports whether source id s is set in a 4-word mask.

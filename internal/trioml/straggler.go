@@ -15,9 +15,9 @@ import (
 // record — without any message passing between servers.
 
 // StartStragglerDetection launches n timer threads with the given overall
-// timeout interval and returns a stop function. Every firing occupies an
-// ordinary PPE thread based on availability (no PPE is reserved).
-func (a *Aggregator) StartStragglerDetection(n int, timeout sim.Time) (stop func()) {
+// timeout interval and returns their cancellable handle set. Every firing
+// occupies an ordinary PPE thread based on availability (no PPE is reserved).
+func (a *Aggregator) StartStragglerDetection(n int, timeout sim.Time) *pfe.TimerThreads {
 	return a.pfe.StartTimerThreads(n, timeout, func(ctx *pfe.Ctx, part int) {
 		a.scanPartition(ctx, part, n)
 	})

@@ -1,0 +1,116 @@
+// Command benchsim turns `go test -bench` output for the scheduler
+// benchmarks into BENCH_sim.json: the pre-refactor baseline (recorded once,
+// below) next to the current measurement, with the Fig. 15 improvement
+// computed. Run it via `make bench-sim`.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// baseline is the benchmark state of commit d36b4f7, the last commit before
+// the zero-alloc scheduler refactor: the closure-heap engine with per-packet
+// frame allocation. It is a measurement, not a build artifact, so it is
+// recorded here rather than regenerated.
+var baseline = report{
+	Commit: "d36b4f7",
+	Note:   "pre-refactor: closure-based binary-heap scheduler, allocating hot paths",
+	Benchmarks: map[string]map[string]float64{
+		"BenchmarkFig15SimThroughput": {
+			"ns/op": 19849618, "events/s": 327563, "simpkts/s": 80606,
+			"B/op": 12607734, "allocs/op": 98310,
+		},
+		"BenchmarkFig14TimerDensity": {
+			"ns/op": 3782833, "events/s": 222849,
+			"B/op": 3113852, "allocs/op": 15484,
+		},
+		"BenchmarkEngineScheduleFireClosure": {"ns/op": 391.6, "B/op": 146, "allocs/op": 3},
+	},
+}
+
+type report struct {
+	Commit     string                        `json:"commit,omitempty"`
+	Note       string                        `json:"note,omitempty"`
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+type output struct {
+	Description           string  `json:"description"`
+	Baseline              report  `json:"baseline"`
+	Current               report  `json:"current"`
+	Fig15ImprovementPct   float64 `json:"fig15_ns_per_op_improvement_pct"`
+	Fig15ThroughputRatio  float64 `json:"fig15_simpkts_per_s_ratio"`
+	EngineArgPathAllocsOp float64 `json:"engine_arg_path_allocs_per_op"`
+}
+
+func parseBench(path string) (map[string]map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]map[string]float64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.SplitN(fields[0], "-", 2)[0] // strip -cpu suffix
+		m := make(map[string]float64)
+		// fields[1] is the iteration count; the rest are value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			m[fields[i+1]] = v
+		}
+		out[name] = m
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	in := flag.String("in", "", "go test -bench output to parse")
+	outPath := flag.String("out", "BENCH_sim.json", "JSON report to write")
+	flag.Parse()
+
+	cur, err := parseBench(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsim:", err)
+		os.Exit(1)
+	}
+	o := output{
+		Description: "internal/sim scheduler benchmarks: pre-refactor baseline vs current (make bench-sim)",
+		Baseline:    baseline,
+		Current:     report{Benchmarks: cur},
+	}
+	if b, c := baseline.Benchmarks["BenchmarkFig15SimThroughput"], cur["BenchmarkFig15SimThroughput"]; c != nil {
+		if bn, cn := b["ns/op"], c["ns/op"]; bn > 0 && cn > 0 {
+			o.Fig15ImprovementPct = 100 * (bn - cn) / bn
+		}
+		if bp, cp := b["simpkts/s"], c["simpkts/s"]; bp > 0 {
+			o.Fig15ThroughputRatio = cp / bp
+		}
+	}
+	if c := cur["BenchmarkEngineScheduleFireArg"]; c != nil {
+		o.EngineArgPathAllocsOp = c["allocs/op"]
+	}
+	buf, err := json.MarshalIndent(o, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsim:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*outPath, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsim:", err)
+		os.Exit(1)
+	}
+}
