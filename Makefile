@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet verify verify-hostagg verify-vfp bench-hostagg bench-sim
+.PHONY: build test vet verify verify-hostagg verify-vfp verify-obs bench-hostagg bench-sim
 
 build:
 	$(GO) build ./...
@@ -12,15 +12,22 @@ vet:
 	$(GO) vet ./...
 
 # verify is the tier-1 gate: full build + tests, whole-repo vet, then the
-# race suites of the concurrency-critical layers (hostagg's sharded hot path
-# and vfp's host datapath).
-verify: build test vet verify-hostagg verify-vfp
+# race suites of the concurrency-critical layers (hostagg's sharded hot
+# path, vfp's host datapath, obs's atomic instruments) and the metric
+# documentation check.
+verify: build test vet verify-hostagg verify-vfp verify-obs
 
 verify-hostagg:
 	$(GO) test -race ./internal/hostagg/...
 
 verify-vfp:
 	$(GO) test -race ./internal/vfp/...
+
+# verify-obs races the registry/trace instruments and fails if any exported
+# metric name is missing from OBSERVABILITY.md.
+verify-obs:
+	$(GO) test -race ./internal/obs/...
+	$(GO) run ./tools/obscheck
 
 bench-hostagg:
 	$(GO) test -run xxx -bench 'Shard|AllReduceUDP' ./internal/hostagg/

@@ -5,11 +5,15 @@
 // Usage:
 //
 //	aggserver [-listen :12000] [-workers 6] [-timeout 10ms] [-stats 5s]
-//	          [-shards 0] [-recv 0]
+//	          [-shards 0] [-recv 0] [-metrics-addr :9100]
 //
 // -shards partitions the block table (rounded up to a power of two) and
 // -recv sets the number of receive goroutines (SO_REUSEPORT sockets on
 // Linux); 0 sizes both from GOMAXPROCS.
+//
+// -metrics-addr (off by default) serves Prometheus text exposition at
+// /metrics and expvar JSON at /debug/vars, including the per-shard
+// recv/emit/drop counters; see OBSERVABILITY.md for the full reference.
 //
 // Note that with SO_REUSEPORT active (-recv > 1 on Linux), a second
 // aggserver started on the same port binds successfully and the kernel
@@ -18,14 +22,18 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"github.com/trioml/triogo/internal/hostagg"
+	"github.com/trioml/triogo/internal/obs"
 )
 
 func main() {
@@ -36,6 +44,7 @@ func main() {
 		statsInt = flag.Duration("stats", 10*time.Second, "stats logging interval (0 disables)")
 		shards   = flag.Int("shards", 0, "block-table shards, rounded up to a power of two (0 = GOMAXPROCS)")
 		recv     = flag.Int("recv", 0, "receive goroutines / SO_REUSEPORT sockets (0 = GOMAXPROCS)")
+		metrics  = flag.String("metrics-addr", "", "HTTP address for /metrics and /debug/vars (empty disables)")
 	)
 	flag.Parse()
 
@@ -50,6 +59,26 @@ func main() {
 	}
 	log.Info("aggserver listening", "addr", srv.Addr(), "workers", *workers, "timeout", *timeout,
 		"shards", srv.NumShards(), "sockets", srv.NumSockets())
+
+	if *metrics != "" {
+		reg := obs.NewRegistry()
+		srv.RegisterObs(reg)
+		reg.PublishExpvar("triogo")
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/debug/vars", expvar.Handler())
+		ln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			log.Error("metrics listen", "err", err)
+			os.Exit(1)
+		}
+		log.Info("metrics serving", "addr", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, mux); err != nil {
+				log.Error("metrics serve", "err", err)
+			}
+		}()
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

@@ -4,9 +4,16 @@
 // Usage:
 //
 //	triobench [-exp all|table1,fig12,...] [-full] [-seed N] [-quiet] [-list]
+//	          [-trace out.json] [-metrics out.prom]
 //
 // Quick mode (default) shrinks sweep sizes so the whole suite runs in about
 // a minute; -full uses paper-scale parameters (several minutes).
+//
+// -trace records dispatch, PPE, RMW/hash, and egress spans from the
+// simulated PFE into a chrome://tracing / Perfetto JSON file; -metrics
+// writes a Prometheus text dump of the engine/PFE/shared-memory registries
+// after the run. See OBSERVABILITY.md for the metric reference and a
+// worked trace example.
 package main
 
 import (
@@ -18,15 +25,22 @@ import (
 	"time"
 
 	"github.com/trioml/triogo/internal/harness"
+	"github.com/trioml/triogo/internal/obs"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run carries main's body so deferred cleanup (the trace file's JSON
+// terminator) happens before the process exit code is set.
+func run() int {
 	var (
-		exp   = flag.String("exp", "all", "comma-separated experiments to run, or 'all'")
-		full  = flag.Bool("full", false, "paper-scale sweeps instead of quick mode")
-		seed  = flag.Uint64("seed", 1, "experiment seed")
-		quiet = flag.Bool("quiet", false, "suppress progress logging")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		exp     = flag.String("exp", "all", "comma-separated experiments to run, or 'all'")
+		full    = flag.Bool("full", false, "paper-scale sweeps instead of quick mode")
+		seed    = flag.Uint64("seed", 1, "experiment seed")
+		quiet   = flag.Bool("quiet", false, "suppress progress logging")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		trace   = flag.String("trace", "", "write a chrome://tracing JSON file of PFE activity")
+		metrics = flag.String("metrics", "", "write a Prometheus text-format metrics dump after the run")
 	)
 	flag.Parse()
 
@@ -34,7 +48,7 @@ func main() {
 		for _, e := range harness.Experiments() {
 			fmt.Printf("  %-10s %s\n", e.Name, e.Desc)
 		}
-		return
+		return 0
 	}
 
 	var names []string
@@ -51,6 +65,41 @@ func main() {
 		logw = nil
 	}
 	params := harness.Params{Quick: !*full, Seed: *seed, Log: logw}
+	if *metrics != "" {
+		reg := obs.NewRegistry()
+		params.Obs = reg
+		// Sweeps rebuild their rig per point and func-backed series rebind,
+		// so the dump reflects the final rig of the last experiment;
+		// histograms accumulate across the whole run.
+		defer func() {
+			f, err := os.Create(*metrics)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "triobench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			if err := reg.WritePrometheus(f); err != nil {
+				fmt.Fprintf(os.Stderr, "triobench: write metrics: %v\n", err)
+			}
+		}()
+	}
+	if *trace != "" {
+		tr, err := obs.CreateTrace(*trace, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "triobench: %v\n", err)
+			return 1
+		}
+		params.Trace = tr
+		defer func() {
+			if dropped := tr.Dropped(); dropped > 0 {
+				fmt.Fprintf(os.Stderr, "triobench: trace hit the %d-event cap, dropped %d events\n",
+					obs.DefaultTraceMaxEvents, dropped)
+			}
+			if err := tr.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "triobench: close trace: %v\n", err)
+			}
+		}()
+	}
 
 	exitCode := 0
 	for _, name := range names {
@@ -74,5 +123,5 @@ func main() {
 			fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.Name, time.Since(start).Round(time.Millisecond))
 		}
 	}
-	os.Exit(exitCode)
+	return exitCode
 }

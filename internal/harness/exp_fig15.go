@@ -33,7 +33,7 @@ func runFig15(p Params) ([]*Table, error) {
 		},
 	}
 	for _, grads := range []int{64, 128, 256, 512, 1024} {
-		cfg := rigConfig{servers: 4, gradsPerPkt: grads, blocks: blocks, window: 1}
+		cfg := rigConfig{servers: 4, gradsPerPkt: grads, blocks: blocks, window: 1, trace: p.Trace, obsReg: p.Obs}
 		rig := newTrioRig(cfg)
 		rig.run()
 		var lat sim.Sample

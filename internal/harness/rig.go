@@ -2,6 +2,7 @@ package harness
 
 import (
 	"github.com/trioml/triogo/internal/netsim"
+	"github.com/trioml/triogo/internal/obs"
 	"github.com/trioml/triogo/internal/packet"
 	"github.com/trioml/triogo/internal/sim"
 	"github.com/trioml/triogo/internal/trio"
@@ -25,7 +26,9 @@ type rigConfig struct {
 	window       int
 	timeout      sim.Time
 	timerThreads int
-	silent       map[int]bool // servers that never send (stragglers)
+	silent       map[int]bool  // servers that never send (stragglers)
+	trace        *obs.Trace    // nil: tracing off (the default)
+	obsReg       *obs.Registry // nil: metrics off; sweeps rebind func series to the latest rig
 }
 
 // streamClient is a minimal gradient-streaming server: it keeps `window`
@@ -70,6 +73,12 @@ func newTrioRig(cfg rigConfig) *trioRig {
 		panic(err)
 	}
 	rig := &trioRig{eng: eng, router: r, agg: agg, cfg: cfg}
+	r.PFE(0).SetTrace(cfg.trace)
+	if cfg.obsReg != nil {
+		eng.RegisterObs(cfg.obsReg)
+		r.PFE(0).RegisterObs(cfg.obsReg)
+		r.PFE(0).Mem.RegisterObs(cfg.obsReg)
+	}
 	for i := 0; i < cfg.servers; i++ {
 		i := i
 		up := netsim.NewLink(eng, netsim.DefaultLinkConfig(), func(f []byte, _ sim.Time) {

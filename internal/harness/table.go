@@ -10,6 +10,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"github.com/trioml/triogo/internal/obs"
 )
 
 // Table is a formatted experiment result.
@@ -83,7 +85,9 @@ func pad(s string, w int) string {
 type Params struct {
 	Quick bool
 	Seed  uint64
-	Log   io.Writer // progress messages; nil discards
+	Log   io.Writer     // progress messages; nil discards
+	Trace *obs.Trace    // when non-nil, experiments record chrome-trace spans into it
+	Obs   *obs.Registry // when non-nil, rigs register their engine/PFE/smem metrics
 }
 
 func (p Params) logf(format string, args ...interface{}) {

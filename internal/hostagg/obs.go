@@ -1,0 +1,76 @@
+package hostagg
+
+import (
+	"fmt"
+
+	"github.com/trioml/triogo/internal/obs"
+)
+
+// RegisterObs exports the server's counters into a metrics registry:
+// server-wide totals plus per-shard recv/emit/drop counters and open-block
+// gauges (labelled shard="<i>"). All per-shard series read lock-free
+// atomics except the open-block gauge, which takes the shard lock briefly
+// at scrape time. Registration is idempotent, so a registry can outlive
+// server restarts; func-backed series rebind to the latest server.
+func (s *Server) RegisterObs(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	counter := func(name, unit, help string, fn func() uint64) {
+		r.CounterFunc(obs.Desc{Name: name, Unit: unit, Help: help}, fn)
+	}
+	counter("triogo_hostagg_packets_total", "packets",
+		"Well-formed contribution packets received.",
+		func() uint64 { return s.counters.packets.Load() })
+	counter("triogo_hostagg_duplicates_total", "packets",
+		"Contributions dropped because the source already contributed to the block.",
+		func() uint64 { return s.counters.duplicates.Load() })
+	counter("triogo_hostagg_stale_drops_total", "packets",
+		"Contributions dropped for carrying an older generation than the open block.",
+		func() uint64 { return s.counters.staleDrops.Load() })
+	counter("triogo_hostagg_completed_total", "blocks",
+		"Blocks that received every worker's contribution and emitted a full result.",
+		func() uint64 { return s.counters.completed.Load() })
+	counter("triogo_hostagg_degraded_total", "blocks",
+		"Blocks aged out by the scanner and emitted as partial (degraded) results.",
+		func() uint64 { return s.counters.degraded.Load() })
+	counter("triogo_hostagg_bad_packets_total", "packets",
+		"Packets rejected before aggregation (unparseable or invalid source id).",
+		func() uint64 { return s.counters.badPackets.Load() })
+	counter("triogo_hostagg_gen_restarts_total", "blocks",
+		"Blocks restarted in place by a newer generation reusing the block id.",
+		func() uint64 { return s.counters.genRestarts.Load() })
+	counter("triogo_hostagg_grad_mismatch_total", "packets",
+		"Contributions whose gradient count differed from the open block's.",
+		func() uint64 { return s.counters.gradMismatch.Load() })
+	r.GaugeFunc(obs.Desc{
+		Name: "triogo_hostagg_pending_blocks", Unit: "blocks",
+		Help: "Open (partially aggregated) blocks across all shards.",
+	}, func() float64 { return float64(s.Pending()) })
+
+	for i, sh := range s.shards {
+		sh := sh
+		l := fmt.Sprintf("shard=\"%d\"", i)
+		r.CounterFunc(obs.Desc{
+			Name: "triogo_hostagg_shard_recv_total", Unit: "packets", Labels: l,
+			Help: "Contributions that reached this shard's aggregation logic.",
+		}, func() uint64 { return sh.recv.Load() })
+		r.CounterFunc(obs.Desc{
+			Name: "triogo_hostagg_shard_emit_total", Unit: "results", Labels: l,
+			Help: "Results emitted from this shard (completed plus aged).",
+		}, func() uint64 { return sh.emit.Load() })
+		r.CounterFunc(obs.Desc{
+			Name: "triogo_hostagg_shard_drop_total", Unit: "packets", Labels: l,
+			Help: "Duplicate and stale contributions this shard discarded.",
+		}, func() uint64 { return sh.drop.Load() })
+		r.GaugeFunc(obs.Desc{
+			Name: "triogo_hostagg_shard_open_blocks", Unit: "blocks", Labels: l,
+			Help: "Open blocks currently held by this shard.",
+		}, func() float64 {
+			sh.mu.Lock()
+			n := len(sh.blocks)
+			sh.mu.Unlock()
+			return float64(n)
+		})
+	}
+}

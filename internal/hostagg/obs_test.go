@@ -1,0 +1,153 @@
+package hostagg
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/trioml/triogo/internal/obs"
+)
+
+// scrape fetches one Prometheus exposition and returns the sum of the
+// samples whose series name starts with prefix.
+func scrape(t *testing.T, url, prefix string) float64 {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") || !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("bad sample line %q: %v", line, err)
+		}
+		sum += v
+	}
+	return sum
+}
+
+// TestConcurrentAggregationAndScrape hammers the server with contributions
+// while scraping /metrics concurrently — the -race proof that the exporter
+// reads (shard atomics, the Pending gauge's per-shard locking) are safe
+// against the aggregation hot path. Afterwards the per-shard recv counters
+// must sum to the packets total.
+func TestConcurrentAggregationAndScrape(t *testing.T) {
+	const workers = 3
+	s := newTestServer(t, workers, 0)
+	reg := obs.NewRegistry()
+	s.RegisterObs(reg)
+	ts := httptest.NewServer(reg.Handler())
+	defer ts.Close()
+
+	stop := make(chan struct{})
+	var scrapes sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		scrapes.Add(1)
+		go func() {
+			defer scrapes.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				scrape(t, ts.URL, "triogo_hostagg_shard_recv_total")
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+
+	const n = 4000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		c := newTestClient(t, s, uint8(w))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			grads := make([]int32, n)
+			for i := range grads {
+				grads[i] = int32(w + i)
+			}
+			if _, err := c.AllReduce(1, grads, 512, workers, 10*time.Second); err != nil {
+				t.Errorf("worker %d: %v", w, err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	scrapes.Wait()
+
+	stats := s.Stats()
+	if got := scrape(t, ts.URL, "triogo_hostagg_shard_recv_total"); got != float64(stats.Packets) {
+		t.Errorf("shard recv sum = %v, want packets total %d", got, stats.Packets)
+	}
+	if got := scrape(t, ts.URL, "triogo_hostagg_shard_emit_total"); got != float64(stats.Completed+stats.Degraded) {
+		t.Errorf("shard emit sum = %v, want completed+degraded %d", got, stats.Completed+stats.Degraded)
+	}
+	if got := scrape(t, ts.URL, "triogo_hostagg_packets_total"); got != float64(stats.Packets) {
+		t.Errorf("packets total = %v, want %d", got, stats.Packets)
+	}
+	if got := scrape(t, ts.URL, "triogo_hostagg_shard_open_blocks"); got != 0 {
+		t.Errorf("open blocks after completion = %v, want 0", got)
+	}
+}
+
+// TestShardDropCountersTrackDuplicatesAndStale checks the per-shard drop
+// counter against the server-wide duplicate/stale totals.
+func TestShardDropCountersTrackDuplicatesAndStale(t *testing.T) {
+	s := newTestServer(t, 2, 0)
+	reg := obs.NewRegistry()
+	s.RegisterObs(reg)
+	c := newTestClient(t, s, 0)
+
+	grads := make([]int32, 8)
+	for i := 0; i < 3; i++ { // one counted, two duplicates
+		if err := c.SendBlock(7, 5, grads, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.SendBlock(7, 4, grads, false); err != nil { // stale generation
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := s.Stats()
+		if st.Duplicates == 2 && st.StaleDrops == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stats = %+v, want 2 duplicates and 1 stale", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	var dropSum float64
+	for name, v := range reg.Snapshot() {
+		if strings.HasPrefix(name, "triogo_hostagg_shard_drop_total") {
+			dropSum += v.(float64)
+		}
+	}
+	if dropSum != 3 {
+		t.Errorf("shard drop sum = %v, want 3", dropSum)
+	}
+}

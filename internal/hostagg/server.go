@@ -49,10 +49,16 @@ type blockState struct {
 }
 
 // shard is one partition of the block table with its own lock, so traffic
-// for distinct blocks aggregates in parallel.
+// for distinct blocks aggregates in parallel. The per-shard counters are
+// atomics (not guarded by mu) so the metrics exporter can read them without
+// touching the aggregation lock.
 type shard struct {
 	mu     sync.Mutex
 	blocks map[uint64]*blockState
+
+	recv atomic.Uint64 // contributions that reached this shard's aggregation logic
+	emit atomic.Uint64 // results emitted from this shard (completed + aged)
+	drop atomic.Uint64 // duplicate and stale contributions discarded
 }
 
 // Server aggregates gradient blocks arriving over UDP and multicasts (by
@@ -308,6 +314,7 @@ func (s *Server) handle(conn *net.UDPConn, payload []byte, from *net.UDPAddr) {
 
 	k := key(h.JobID, h.BlockID)
 	sh := s.shardFor(k)
+	sh.recv.Add(1)
 	sh.mu.Lock()
 	b := sh.blocks[k]
 	switch {
@@ -318,6 +325,7 @@ func (s *Server) handle(conn *net.UDPConn, payload []byte, from *net.UDPAddr) {
 		sh.blocks[k] = b
 	case h.GenID != b.genID && int16(h.GenID-b.genID) < 0:
 		s.counters.staleDrops.Add(1)
+		sh.drop.Add(1)
 		sh.mu.Unlock()
 		return
 	case h.GenID != b.genID:
@@ -331,6 +339,7 @@ func (s *Server) handle(conn *net.UDPConn, payload []byte, from *net.UDPAddr) {
 		s.counters.genRestarts.Add(1)
 	case b.rcvdMask&(1<<h.SrcID) != 0:
 		s.counters.duplicates.Add(1)
+		sh.drop.Add(1)
 		sh.mu.Unlock()
 		return
 	default:
@@ -367,6 +376,7 @@ func (s *Server) handle(conn *net.UDPConn, payload []byte, from *net.UDPAddr) {
 	sh.mu.Unlock()
 
 	if done != nil {
+		sh.emit.Add(1)
 		s.emit(conn, h.JobID, h.BlockID, done, false, s.targets(h.JobID))
 	}
 }
@@ -418,6 +428,7 @@ func (s *Server) scanShard(sh *shard, conn *net.UDPConn) {
 		}
 		sh.mu.Unlock()
 		for _, a := range aged {
+			sh.emit.Add(1)
 			s.emit(conn, a.job, a.block, a.b, true, s.targets(a.job))
 		}
 	}

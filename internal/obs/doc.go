@@ -1,0 +1,43 @@
+// Package obs is the repository's unified observability layer: a
+// dependency-free metrics registry (counters, gauges, fixed-bucket
+// histograms) with Prometheus text and expvar export, and a structured
+// trace recorder that writes chrome://tracing-format JSON.
+//
+// The paper's whole argument rests on architectural accounting —
+// instructions per gradient, RMW operations per cycle, timer-sweep cost,
+// queue occupancy — so those numbers must be inspectable artifacts rather
+// than ad-hoc printfs. Every instrumented layer (internal/sim,
+// internal/trio/pfe, internal/trio/smem, internal/hostagg) registers its
+// series here; OBSERVABILITY.md is the complete reference mapping each
+// exported metric back to the paper figure or section it reproduces, and
+// tools/obscheck fails the build when a registered metric is missing from
+// that table.
+//
+// # Design constraints
+//
+//   - No dependencies beyond the standard library, and no imports of other
+//     repository packages: obs sits below internal/sim in the dependency
+//     graph so the simulation core itself can register metrics.
+//   - Zero-allocation hot path: Counter.Add, Gauge.Set, and
+//     Histogram.Observe are single atomic operations (Observe scans a
+//     fixed bucket ladder). Instrumented code guards every call site with
+//     a nil check, so a nil registry (observability off) costs one branch
+//     and the simulator's 0 allocs/op scheduling path is preserved.
+//   - Registration may allocate freely; it happens once at setup.
+//
+// # Exposition
+//
+// Registry.WritePrometheus emits the Prometheus text exposition format
+// (version 0.0.4), Registry.Handler serves it over HTTP, and
+// Registry.PublishExpvar mirrors the same snapshot into the process's
+// /debug/vars page. cmd/aggserver mounts both behind -metrics-addr.
+//
+// # Tracing
+//
+// Trace records chrome://tracing "Trace Event Format" complete events
+// (ph:"X"), instants, and counter series into a JSON array that
+// chrome://tracing and https://ui.perfetto.dev load directly. Virtual
+// timestamps are passed in nanoseconds and written as the format's
+// microsecond doubles. cmd/triobench -trace wires a recorder through the
+// experiment rig so any -exp run emits dispatch→PPE→RMW→egress spans.
+package obs

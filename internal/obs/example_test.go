@@ -1,0 +1,52 @@
+package obs_test
+
+import (
+	"os"
+
+	"github.com/trioml/triogo/internal/obs"
+)
+
+// ExampleRegistry shows the whole lifecycle: register instruments, update
+// them on the hot path, and expose everything as Prometheus text. Serving
+// the same registry over HTTP is one more line: http.Handle("/metrics",
+// reg.Handler()).
+func ExampleRegistry() {
+	reg := obs.NewRegistry()
+
+	packets := reg.Counter(obs.Desc{
+		Name: "example_packets_total",
+		Help: "Packets aggregated.",
+	})
+	pending := reg.Gauge(obs.Desc{
+		Name: "example_pending_blocks",
+		Help: "Blocks awaiting contributions.",
+	})
+	latency := reg.Histogram(obs.Desc{
+		Name: "example_latency_ns",
+		Help: "Access latency.",
+	}, []float64{70, 300, 400})
+
+	for i := 0; i < 3; i++ {
+		packets.Inc()
+		latency.Observe(70)
+	}
+	latency.Observe(350)
+	pending.Set(2)
+
+	reg.WritePrometheus(os.Stdout)
+	// Output:
+	// # HELP example_latency_ns Access latency.
+	// # TYPE example_latency_ns histogram
+	// example_latency_ns_bucket{le="70"} 3
+	// example_latency_ns_bucket{le="300"} 3
+	// example_latency_ns_bucket{le="400"} 4
+	// example_latency_ns_bucket{le="+Inf"} 4
+	// example_latency_ns_sum 560
+	// example_latency_ns_count 4
+	// # HELP example_packets_total Packets aggregated.
+	// # TYPE example_packets_total counter
+	// example_packets_total 3
+	// # HELP example_pending_blocks Blocks awaiting contributions.
+	// # TYPE example_pending_blocks gauge
+	// example_pending_blocks 2
+}

@@ -1,0 +1,41 @@
+package obs
+
+import "expvar"
+
+// Snapshot renders the registry as a plain map: counters and gauges map to
+// numbers, histograms to {count, sum, buckets:[{le, cumulative}...]}. It is
+// the expvar view of the registry and also convenient for tests.
+func (r *Registry) Snapshot() map[string]any {
+	if r == nil {
+		return nil
+	}
+	out := make(map[string]any)
+	for _, m := range r.snapshot() {
+		key := m.desc.Name + promLabels(m.desc.Labels)
+		if m.kind != KindHistogram {
+			out[key] = m.value()
+			continue
+		}
+		bounds, cum := m.hist.Buckets()
+		buckets := make([]map[string]any, len(bounds))
+		for i := range bounds {
+			buckets[i] = map[string]any{"le": bounds[i], "cumulative": cum[i]}
+		}
+		out[key] = map[string]any{
+			"count":   m.hist.Count(),
+			"sum":     m.hist.Sum(),
+			"buckets": buckets,
+		}
+	}
+	return out
+}
+
+// PublishExpvar exposes the registry on the process's /debug/vars page
+// under the given top-level name. Publishing the same name twice is a
+// no-op (expvar itself panics on duplicates), so the call is idempotent.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+)
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format (version 0.0.4), sorted by name then label set so the
+// output is deterministic (the golden test relies on this).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	lastName := ""
+	for _, m := range r.snapshot() {
+		if m.desc.Name != lastName {
+			lastName = m.desc.Name
+			if m.desc.Help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", m.desc.Name, m.desc.Help)
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", m.desc.Name, m.kind)
+		}
+		if m.kind == KindHistogram {
+			writePromHistogram(bw, m)
+			continue
+		}
+		fmt.Fprintf(bw, "%s%s %s\n", m.desc.Name, promLabels(m.desc.Labels), promFloat(m.value()))
+	}
+	return bw.Flush()
+}
+
+func promLabels(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// promFloat renders integers without an exponent and everything else in
+// Go's shortest-round-trip form, matching common exposition practice.
+func promFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func writePromHistogram(w io.Writer, m *metric) {
+	bounds, cum := m.hist.Buckets()
+	for i, b := range bounds {
+		le := "+Inf"
+		if !math.IsInf(b, 1) {
+			le = promFloat(b)
+		}
+		ls := m.desc.Labels
+		if ls != "" {
+			ls += ","
+		}
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", m.desc.Name, ls, le, cum[i])
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", m.desc.Name, promLabels(m.desc.Labels), promFloat(m.hist.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", m.desc.Name, promLabels(m.desc.Labels), m.hist.Count())
+}
+
+// Handler serves the registry as a Prometheus scrape endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry with every metric family and a labeled
+// series, with fixed values, so the exposition is fully deterministic.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	c := r.Counter(Desc{Name: "triogo_test_packets_total", Help: "Packets handled."})
+	c.Add(42)
+	for i, n := range []uint64{7, 11} {
+		s := r.Counter(Desc{
+			Name: "triogo_test_shard_recv_total", Help: "Per-shard contributions.",
+			Labels: `shard="` + string(rune('0'+i)) + `"`,
+		})
+		s.Add(n)
+	}
+	g := r.Gauge(Desc{Name: "triogo_test_pending_blocks", Help: "Open blocks."})
+	g.Set(3)
+	r.GaugeFunc(Desc{Name: "triogo_test_utilization", Help: "Busy fraction."}, func() float64 { return 0.25 })
+	h := r.Histogram(Desc{Name: "triogo_test_latency_ns", Help: "Access latency."}, []float64{70, 300, 400})
+	for _, v := range []float64{70, 70, 310, 1000} {
+		h.Observe(v)
+	}
+	return r
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "prom.golden")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestPrometheusParses walks the exposition line by line and checks the
+// text-format grammar every scraper relies on: HELP/TYPE precede samples,
+// sample lines are "name[{labels}] value", histograms emit cumulative
+// _bucket/_sum/_count series.
+func TestPrometheusParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	typed := map[string]string{}
+	samples := 0
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			typed[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		name := fields[0]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Fatalf("unterminated label set in %q", line)
+			}
+			name = name[:i]
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if _, ok := typed[name]; !ok {
+			if _, ok := typed[base]; !ok {
+				t.Fatalf("sample %q has no preceding TYPE", line)
+			}
+		}
+		samples++
+	}
+	if samples == 0 {
+		t.Fatal("no samples emitted")
+	}
+}
+
+func TestHandlerServesExposition(t *testing.T) {
+	srv := httptest.NewServer(goldenRegistry().Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "triogo_test_packets_total 42") {
+		t.Fatalf("body missing counter sample:\n%s", body)
+	}
+}
+
+func TestExpvarSnapshot(t *testing.T) {
+	snap := goldenRegistry().Snapshot()
+	if snap[`triogo_test_shard_recv_total{shard="1"}`] != 11.0 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	hist, ok := snap["triogo_test_latency_ns"].(map[string]any)
+	if !ok || hist["count"] != uint64(4) {
+		t.Fatalf("histogram snapshot = %v", snap["triogo_test_latency_ns"])
+	}
+}

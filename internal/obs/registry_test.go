@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter(Desc{Name: "c_total"})
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge(Desc{Name: "g"})
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter(Desc{Name: "x_total", Labels: `shard="0"`})
+	b := r.Counter(Desc{Name: "x_total", Labels: `shard="0"`})
+	if a != b {
+		t.Fatal("re-registration returned a different counter")
+	}
+	other := r.Counter(Desc{Name: "x_total", Labels: `shard="1"`})
+	if other == a {
+		t.Fatal("distinct label sets shared a counter")
+	}
+	if names := r.Names(); len(names) != 1 || names[0] != "x_total" {
+		t.Fatalf("Names() = %v, want [x_total]", names)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Desc{Name: "m"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering m as a gauge after a counter did not panic")
+		}
+	}()
+	r.Gauge(Desc{Name: "m"})
+}
+
+func TestNilRegistryAndInstruments(t *testing.T) {
+	var r *Registry
+	c := r.Counter(Desc{Name: "c_total"})
+	g := r.Gauge(Desc{Name: "g"})
+	h := r.Histogram(Desc{Name: "h"}, []float64{1, 2})
+	r.CounterFunc(Desc{Name: "cf"}, func() uint64 { return 1 })
+	r.GaugeFunc(Desc{Name: "gf"}, func() float64 { return 1 })
+	c.Inc()
+	c.Add(2)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+	if r.Names() != nil || r.Snapshot() != nil {
+		t.Fatal("nil registry must enumerate as empty")
+	}
+	if err := r.WritePrometheus(nil); err != nil {
+		t.Fatalf("nil WritePrometheus: %v", err)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(Desc{Name: "lat"}, []float64{10, 100, 1000})
+	for _, v := range []float64{5, 10, 11, 99, 5000} {
+		h.Observe(v)
+	}
+	bounds, cum := h.Buckets()
+	if len(bounds) != 4 || !math.IsInf(bounds[3], 1) {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	want := []uint64{2, 4, 4, 5} // <=10: {5,10}; <=100: +{11,99}; +Inf: +{5000}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Fatalf("cumulative = %v, want %v", cum, want)
+		}
+	}
+	if h.Count() != 5 || h.Sum() != 5+10+11+99+5000 {
+		t.Fatalf("count=%d sum=%v", h.Count(), h.Sum())
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter(Desc{Name: "c_total"})
+	g := r.Gauge(Desc{Name: "g"})
+	h := r.Histogram(Desc{Name: "h"}, ExpBuckets(1, 10, 4))
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 1000))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Fatalf("gauge = %v, want %d", g.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 10, 3)
+	want := []float64{1, 10, 100}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram(Desc{Name: "h"}, ExpBuckets(1, 4, 12))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i & 0xFFFF))
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter(Desc{Name: "c_total"})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

@@ -184,10 +184,10 @@ func TestWheelHeapOverflowBoundary(t *testing.T) {
 	horizon := Time(wheelSlots) << granBits
 	var order []Time
 	record := func() { order = append(order, e.Now()) }
-	e.At(horizon-1, record)        // last bucket inside the window
-	e.At(horizon, record)          // first bucket past it
-	e.At(3*horizon+7, record)      // far overflow
-	e.At(granTime/2, record)       // near event
+	e.At(horizon-1, record)   // last bucket inside the window
+	e.At(horizon, record)     // first bucket past it
+	e.At(3*horizon+7, record) // far overflow
+	e.At(granTime/2, record)  // near event
 	m := e.Metrics()
 	if m.WheelInserts == 0 || m.HeapInserts == 0 {
 		t.Fatalf("expected a wheel/heap split, got %+v", m)

@@ -1,0 +1,42 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"github.com/trioml/triogo/internal/sim"
+)
+
+// ExampleEngine schedules one-shot and periodic events and shows the
+// cancellation and clock semantics every timed layer in the repository is
+// built on. The argument-passing forms (AtFunc/AfterFunc/EveryFunc) are
+// the allocation-free equivalents used on hot paths.
+func ExampleEngine() {
+	eng := sim.NewEngine()
+
+	eng.After(3*sim.Microsecond, func() {
+		fmt.Printf("one-shot at t=%v\n", eng.Now())
+	})
+
+	ticks := 0
+	var tick sim.Handle
+	tick = eng.Every(0, 2*sim.Microsecond, func() {
+		ticks++
+		fmt.Printf("tick %d at t=%v\n", ticks, eng.Now())
+		if ticks == 3 {
+			tick.Stop() // stopping inside the callback prevents the re-arm
+		}
+	})
+
+	cancelled := eng.After(sim.Microsecond, func() { fmt.Println("never runs") })
+	cancelled.Stop()
+
+	eng.Run()
+	fmt.Printf("done: executed=%d pending=%d at t=%v\n",
+		eng.Executed(), eng.Pending(), eng.Now())
+	// Output:
+	// tick 1 at t=0s
+	// tick 2 at t=2µs
+	// one-shot at t=3µs
+	// tick 3 at t=4µs
+	// done: executed=4 pending=0 at t=4µs
+}

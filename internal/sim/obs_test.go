@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/trioml/triogo/internal/obs"
+)
+
+// TestSchedulePathAllocs pins the allocation contract of the scheduling
+// fast path: 0 allocs/op with a nil registry, and still 0 (the acceptance
+// bar is <= 1) with RegisterObs instrumentation attached.
+func TestSchedulePathAllocs(t *testing.T) {
+	p := &benchPayload{}
+	run := func(e *Engine) float64 {
+		return testing.AllocsPerRun(1000, func() {
+			e.AfterFunc(10, benchFire, p)
+			e.Step()
+		})
+	}
+
+	plain := NewEngine()
+	if got := run(plain); got != 0 {
+		t.Errorf("nil-registry schedule path allocates %v/op, want 0", got)
+	}
+
+	instrumented := NewEngine()
+	instrumented.RegisterObs(obs.NewRegistry())
+	if got := run(instrumented); got > 1 {
+		t.Errorf("instrumented schedule path allocates %v/op, want <= 1", got)
+	}
+}
+
+func TestRegisterObsExportsEngineMetrics(t *testing.T) {
+	e := NewEngine()
+	reg := obs.NewRegistry()
+	e.RegisterObs(reg)
+	p := &benchPayload{}
+	e.AfterFunc(5*Millisecond, benchFire, p)
+	h := e.AfterFunc(10*Millisecond, benchFire, p)
+	h.Stop()
+	e.Run()
+
+	snap := reg.Snapshot()
+	checks := map[string]float64{
+		"triogo_sim_events_scheduled_total": 2,
+		"triogo_sim_events_executed_total":  1,
+		"triogo_sim_events_cancelled_total": 1,
+		"triogo_sim_pending_events":         0,
+		"triogo_sim_virtual_time_ns":        float64(5 * Millisecond),
+	}
+	for name, want := range checks {
+		if got := snap[name]; got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	hist, ok := snap["triogo_sim_schedule_lead_ns"].(map[string]any)
+	if !ok || hist["count"] != uint64(2) {
+		t.Errorf("schedule lead histogram = %v, want 2 observations", snap["triogo_sim_schedule_lead_ns"])
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "triogo_sim_events_executed_total 1") {
+		t.Errorf("exposition missing executed counter:\n%s", sb.String())
+	}
+}
+
+// TestRegisterObsRebindsToLiveEngine covers the sweep pattern: each rig
+// builds a fresh engine and re-registers; func-backed series must follow
+// the most recent engine.
+func TestRegisterObsRebindsToLiveEngine(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := &benchPayload{}
+
+	first := NewEngine()
+	first.RegisterObs(reg)
+	first.AfterFunc(1, benchFire, p)
+	first.Run()
+
+	second := NewEngine()
+	second.RegisterObs(reg)
+	for i := 0; i < 3; i++ {
+		second.AfterFunc(Time(i+1), benchFire, p)
+	}
+	second.Run()
+
+	if got := reg.Snapshot()["triogo_sim_events_executed_total"]; got != 3.0 {
+		t.Fatalf("executed total = %v, want 3 (the live engine's count)", got)
+	}
+}

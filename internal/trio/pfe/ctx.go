@@ -34,6 +34,7 @@ type Ctx struct {
 
 	headBuf  []byte // pool-owned head storage; head aliases it until SetHead
 	poolNext *Ctx   // PFE free-list link; contexts recycle at completion
+	tslot    int64  // trace track (busy-slot index) assigned at dispatch
 }
 
 type emit struct {
@@ -83,6 +84,15 @@ func (c *Ctx) wait(done sim.Time) {
 	}
 }
 
+// span records one XTXN interval on the thread's trace track. The nil-trace
+// default costs a single predictable branch, keeping the traced-off data
+// path identical to before instrumentation.
+func (c *Ctx) span(cat, name string, start, done sim.Time) {
+	if tr := c.pfe.trace; tr != nil {
+		tr.Complete(cat, name, int64(c.pfe.Cfg.ID), c.tslot, int64(start), int64(done-start))
+	}
+}
+
 // ReadTail fetches size bytes of the packet tail starting at off into the
 // thread (one XTXN through the crossbar to the Memory and Queueing
 // Subsystem, §3.1). Short reads at the end of the tail return what remains.
@@ -96,7 +106,9 @@ func (c *Ctx) ReadTail(off, size int) []byte {
 		off = end
 	}
 	// Tail data crosses the crossbar with SRAM-class latency.
-	c.wait(c.now + 70*sim.Nanosecond)
+	done := c.now + 70*sim.Nanosecond
+	c.span("pbuf", "tail_read", c.now, done)
+	c.wait(done)
 	return c.tail[off:end]
 }
 
@@ -109,13 +121,17 @@ func (c *Ctx) WriteTail(off int, data []byte) {
 		return
 	}
 	copy(c.tail[off:], data)
-	c.wait(c.now + 70*sim.Nanosecond)
+	done := c.now + 70*sim.Nanosecond
+	c.span("pbuf", "tail_write", c.now, done)
+	c.wait(done)
 }
 
 // MemRead issues a synchronous shared-memory read XTXN.
 func (c *Ctx) MemRead(addr uint64, size int) []byte {
 	c.stats.XTXNs++
+	start := c.now
 	data, done := c.pfe.Mem.Read(c.now, addr, size)
+	c.span("rmw", "read", start, done)
 	c.wait(done)
 	return data
 }
@@ -124,14 +140,19 @@ func (c *Ctx) MemRead(addr uint64, size int) []byte {
 // allocation on the per-packet path.
 func (c *Ctx) MemReadInto(addr uint64, b []byte) {
 	c.stats.XTXNs++
-	c.wait(c.pfe.Mem.ReadInto(c.now, addr, b))
+	start := c.now
+	done := c.pfe.Mem.ReadInto(c.now, addr, b)
+	c.span("rmw", "read", start, done)
+	c.wait(done)
 }
 
 // MemWrite issues a shared-memory write XTXN. Async writes do not suspend
 // the thread.
 func (c *Ctx) MemWrite(addr uint64, data []byte, async bool) {
 	c.stats.XTXNs++
+	start := c.now
 	done := c.pfe.Mem.Write(c.now, addr, data)
+	c.span("rmw", "write", start, done)
 	if !async {
 		c.wait(done)
 	}
@@ -142,13 +163,16 @@ func (c *Ctx) MemWrite(addr uint64, data []byte, async bool) {
 // word, only for the crossbar issue.
 func (c *Ctx) AddVector32(addr uint64, deltas []int32) {
 	c.stats.XTXNs++
-	c.pfe.Mem.AddVector32(c.now, addr, deltas)
+	done := c.pfe.Mem.AddVector32(c.now, addr, deltas)
+	c.span("rmw", "add_vector", c.now, done)
 }
 
 // ReadVector32 synchronously reads count 32-bit words from shared memory.
 func (c *Ctx) ReadVector32(addr uint64, count int) []int32 {
 	c.stats.XTXNs++
+	start := c.now
 	vals, done := c.pfe.Mem.ReadVector32(c.now, addr, count)
+	c.span("rmw", "read_vector", start, done)
 	c.wait(done)
 	return vals
 }
@@ -157,7 +181,9 @@ func (c *Ctx) ReadVector32(addr uint64, count int) []int32 {
 // allocation-free when dst has capacity.
 func (c *Ctx) ReadVector32Append(addr uint64, count int, dst []int32) []int32 {
 	c.stats.XTXNs++
+	start := c.now
 	vals, done := c.pfe.Mem.ReadVector32Append(c.now, addr, count, dst)
+	c.span("rmw", "read_vector", start, done)
 	c.wait(done)
 	return vals
 }
@@ -165,14 +191,17 @@ func (c *Ctx) ReadVector32Append(addr uint64, count int, dst []int32) []int32 {
 // CounterInc issues an asynchronous CounterIncPhys XTXN.
 func (c *Ctx) CounterInc(addr uint64, pktLen uint32) {
 	c.stats.XTXNs++
-	c.pfe.Mem.CounterInc(c.now, addr, pktLen)
+	done := c.pfe.Mem.CounterInc(c.now, addr, pktLen)
+	c.span("rmw", "counter_inc", c.now, done)
 }
 
 // HashLookup issues a synchronous hash-engine lookup (sets the record's REF
 // flag on hit).
 func (c *Ctx) HashLookup(key uint64) (uint64, bool) {
 	c.stats.XTXNs++
+	start := c.now
 	v, ok, done := c.pfe.Hash.Lookup(c.now, key)
+	c.span("hash", "lookup", start, done)
 	c.wait(done)
 	return v, ok
 }
@@ -180,7 +209,9 @@ func (c *Ctx) HashLookup(key uint64) (uint64, bool) {
 // HashInsert issues a synchronous hash-engine insert.
 func (c *Ctx) HashInsert(key, val uint64) bool {
 	c.stats.XTXNs++
+	start := c.now
 	ok, done := c.pfe.Hash.Insert(c.now, key, val)
+	c.span("hash", "insert", start, done)
 	c.wait(done)
 	return ok
 }
@@ -188,7 +219,9 @@ func (c *Ctx) HashInsert(key, val uint64) bool {
 // HashDelete issues a synchronous hash-engine delete.
 func (c *Ctx) HashDelete(key uint64) bool {
 	c.stats.XTXNs++
+	start := c.now
 	ok, done := c.pfe.Hash.Delete(c.now, key)
+	c.span("hash", "delete", start, done)
 	c.wait(done)
 	return ok
 }
@@ -197,7 +230,9 @@ func (c *Ctx) HashDelete(key uint64) bool {
 // charging the thread for the scan work (used by timer threads, §5).
 func (c *Ctx) ScanHashPartition(part, nParts int, visit func(key, val uint64, ref bool) hasheng.ScanAction) int {
 	c.stats.XTXNs++
+	start := c.now
 	n, done := c.pfe.Hash.ScanPartition(c.now, part, nParts, visit)
+	c.span("hash", "scan", start, done)
 	c.wait(done)
 	return n
 }

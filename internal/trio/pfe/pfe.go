@@ -13,6 +13,7 @@ package pfe
 import (
 	"fmt"
 
+	"github.com/trioml/triogo/internal/obs"
 	"github.com/trioml/triogo/internal/sim"
 	"github.com/trioml/triogo/internal/trio/hasheng"
 	"github.com/trioml/triogo/internal/trio/smem"
@@ -104,6 +105,7 @@ type Stats struct {
 	TimerFirings uint64
 	Instructions uint64
 	MaxQueued    int // worst-case dispatch queue depth
+	PeakBusy     int // worst-case concurrently busy PPE threads
 	BytesOut     uint64
 }
 
@@ -126,6 +128,8 @@ type PFE struct {
 
 	ctxFree *Ctx    // recycled thread contexts
 	outFree *outEvt // recycled egress delivery events
+
+	trace *obs.Trace // nil: tracing off (the default; see SetTrace)
 }
 
 type portState struct {
@@ -241,6 +245,10 @@ func (p *PFE) enqueue(w work) {
 	if n := len(p.queue) - p.qhead; n > p.stats.MaxQueued {
 		p.stats.MaxQueued = n
 	}
+	if p.trace != nil {
+		p.trace.CounterValue("pfe", "work_queue_depth", int64(p.Cfg.ID),
+			int64(p.Engine.Now()), float64(len(p.queue)-p.qhead))
+	}
 	p.tryDispatch()
 }
 
@@ -256,6 +264,9 @@ func (p *PFE) tryDispatch() {
 			p.qhead = 0
 		}
 		p.pool.free--
+		if busy := p.pool.cap - p.pool.free; busy > p.stats.PeakBusy {
+			p.stats.PeakBusy = busy
+		}
 		p.runWork(w)
 	}
 }
@@ -293,9 +304,17 @@ func (p *PFE) putCtx(c *Ctx) {
 // runWork executes one work item on a PPE thread starting now.
 func (p *PFE) runWork(w work) {
 	ctx := p.getCtx()
+	// The trace thread id is the busy-slot index (1..cap): stacked tracks in
+	// the viewer read directly as instantaneous pool occupancy.
+	ctx.tslot = int64(p.pool.cap - p.pool.free)
+	start := ctx.now
 	if w.pkt != nil {
 		p.stats.Dispatched++
 		pkt := w.pkt
+		if p.trace != nil {
+			p.trace.Complete("dispatch", "queue", int64(p.Cfg.ID), 0,
+				int64(pkt.Arrival), int64(start-pkt.Arrival))
+		}
 		// Dispatch loads the head into thread-local memory; the tail stays
 		// in the Packet Buffer (§2.1).
 		hl := pkt.headLen(p.Cfg.HeadBytes)
@@ -316,6 +335,14 @@ func (p *PFE) runWork(w work) {
 		w.timer.body(ctx, w.timer.part)
 	}
 	p.stats.Instructions += ctx.stats.Instructions
+	if p.trace != nil {
+		name := "packet"
+		if w.pkt == nil {
+			name = "timer"
+		}
+		p.trace.Complete("ppe", name, int64(p.Cfg.ID), ctx.tslot,
+			int64(start), int64(ctx.now-start))
+	}
 
 	p.Engine.AtFunc(ctx.now, workDone, ctx)
 }
@@ -380,6 +407,10 @@ func (p *PFE) egress(port int, frame []byte, ready sim.Time) {
 	ps.bytes += uint64(len(frame))
 	ps.busy += ser
 	p.stats.BytesOut += uint64(len(frame))
+	if p.trace != nil {
+		p.trace.Complete("egress", "tx", int64(p.Cfg.ID),
+			egressTidBase+int64(port), int64(start), int64(ser))
+	}
 	if p.out != nil {
 		o := p.outFree
 		if o == nil {

@@ -1,0 +1,66 @@
+package smem
+
+import (
+	"fmt"
+
+	"github.com/trioml/triogo/internal/obs"
+)
+
+// tierLabel names tiers in metric labels (shorter than TierKind.String,
+// which is prose for error messages).
+func tierLabel(k TierKind) string {
+	switch k {
+	case TierSRAM:
+		return "sram"
+	case TierCache:
+		return "cache"
+	}
+	return "dram"
+}
+
+// RegisterObs exports the shared-memory system's activity into a metrics
+// registry: per-RMW-bank contention counters (labelled bank="<i>") and two
+// latency histograms — PPE-observed access latency per tier and RMW-engine
+// queueing delay. The histograms Observe on the data path with atomic adds
+// only; with no registry attached the data path keeps its single obsOn
+// branch and allocates nothing.
+func (m *Memory) RegisterObs(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	for i := range m.engines {
+		e := &m.engines[i]
+		l := fmt.Sprintf("bank=\"%d\"", i)
+		r.CounterFunc(obs.Desc{
+			Name: "triogo_smem_rmw_ops_total", Unit: "ops", Labels: l,
+			Help: "Requests serviced by this RMW engine bank.",
+		}, func() uint64 { return e.ops })
+		r.CounterFunc(obs.Desc{
+			Name: "triogo_smem_rmw_busy_cycles_total", Unit: "cycles", Labels: l,
+			Help: "Service cycles consumed by this bank (8 bytes per cycle; adds cost 2 cycles per word).",
+		}, func() uint64 { return e.busyCycles })
+		r.CounterFunc(obs.Desc{
+			Name: "triogo_smem_rmw_backlogged_total", Unit: "requests", Labels: l,
+			Help: "Requests that found a non-empty backlog on this bank (contention events).",
+		}, func() uint64 { return e.backlogged })
+		r.GaugeFunc(obs.Desc{
+			Name: "triogo_smem_rmw_max_queueing_ns", Unit: "nanoseconds", Labels: l,
+			Help: "Worst queueing delay any request saw on this bank.",
+		}, func() float64 { return float64(e.maxQueueing) })
+	}
+	// Access latency spans queueing + service + tier latency: ~70ns floors
+	// for SRAM up through DRAM round trips with deep backlogs.
+	bounds := obs.ExpBuckets(64, 2, 12) // 64ns .. 131µs
+	for k := TierKind(0); k < numTiers; k++ {
+		m.tierHist[k] = r.Histogram(obs.Desc{
+			Name: "triogo_smem_access_latency_ns", Unit: "nanoseconds",
+			Labels: fmt.Sprintf("tier=%q", tierLabel(k)),
+			Help:   "PPE-observed completion latency of data-path accesses, by tier.",
+		}, bounds)
+	}
+	m.queueHist = r.Histogram(obs.Desc{
+		Name: "triogo_smem_rmw_queueing_ns", Unit: "nanoseconds",
+		Help: "Queueing delay ahead of each request at its RMW bank (0 when the bank was idle).",
+	}, obs.ExpBuckets(1, 4, 10)) // 1ns .. 262µs, first bucket isolates idle banks
+	m.obsOn = true
+}

@@ -26,7 +26,7 @@ func (m *Memory) CounterInc(now sim.Time, addr uint64, pktLen uint32) sim.Time {
 	binary.BigEndian.PutUint64(b[8:16], binary.BigEndian.Uint64(b[8:16])+uint64(pktLen))
 	m.store(addr, b[:])
 	done := m.occupy(m.engineFor(addr), now, serviceCycles(16, addCycles))
-	return m.complete(addr, done)
+	return m.complete(now, addr, done)
 }
 
 // Counter reads back a Packet/Byte Counter via the control plane.
@@ -68,7 +68,7 @@ func (m *Memory) FetchAndOp(now sim.Time, addr uint64, op FetchOp, operand uint6
 	}
 	binary.BigEndian.PutUint64(b[:], nv)
 	m.store(addr, b[:])
-	return old, m.complete(addr, m.occupy(m.engineFor(addr), now, addCycles))
+	return old, m.complete(now, addr, m.occupy(m.engineFor(addr), now, addCycles))
 }
 
 // FetchAndSwap atomically replaces the 8-byte word at addr and returns the
@@ -79,7 +79,7 @@ func (m *Memory) FetchAndSwap(now sim.Time, addr uint64, v uint64) (old uint64, 
 	old = binary.BigEndian.Uint64(b[:])
 	binary.BigEndian.PutUint64(b[:], v)
 	m.store(addr, b[:])
-	return old, m.complete(addr, m.occupy(m.engineFor(addr), now, addCycles))
+	return old, m.complete(now, addr, m.occupy(m.engineFor(addr), now, addCycles))
 }
 
 // MaskedWrite writes (old &^ mask) | (v & mask) to the 8-byte word at addr.
@@ -89,7 +89,7 @@ func (m *Memory) MaskedWrite(now sim.Time, addr uint64, v, mask uint64) sim.Time
 	old := binary.BigEndian.Uint64(b[:])
 	binary.BigEndian.PutUint64(b[:], old&^mask|v&mask)
 	m.store(addr, b[:])
-	return m.complete(addr, m.occupy(m.engineFor(addr), now, addCycles))
+	return m.complete(now, addr, m.occupy(m.engineFor(addr), now, addCycles))
 }
 
 // Add32 atomically adds delta to the 32-bit word at addr (4-byte aligned)
@@ -101,7 +101,7 @@ func (m *Memory) Add32(now sim.Time, addr uint64, delta int32) (newVal int32, do
 	nv := int32(binary.BigEndian.Uint32(b[:])) + delta
 	binary.BigEndian.PutUint32(b[:], uint32(nv))
 	m.store(addr, b[:])
-	return nv, m.complete(addr, m.occupy(m.engineFor(addr&^7), now, addCycles))
+	return nv, m.complete(now, addr, m.occupy(m.engineFor(addr&^7), now, addCycles))
 }
 
 // Add64 atomically adds delta to the 8-byte word at addr.
@@ -111,7 +111,7 @@ func (m *Memory) Add64(now sim.Time, addr uint64, delta uint64) (newVal uint64, 
 	nv := binary.BigEndian.Uint64(b[:]) + delta
 	binary.BigEndian.PutUint64(b[:], nv)
 	m.store(addr, b[:])
-	return nv, m.complete(addr, m.occupy(m.engineFor(addr), now, addCycles))
+	return nv, m.complete(now, addr, m.occupy(m.engineFor(addr), now, addCycles))
 }
 
 // AddVector32 adds a vector of int32 deltas to consecutive 32-bit words
@@ -141,7 +141,7 @@ func (m *Memory) AddVector32(now sim.Time, addr uint64, deltas []int32) sim.Time
 			}
 			m.store(wordAddr, b[:])
 		}
-		done := m.complete(wordAddr, m.occupy(m.engineFor(wordAddr), now, addCycles))
+		done := m.complete(now, wordAddr, m.occupy(m.engineFor(wordAddr), now, addCycles))
 		if done > latest {
 			latest = done
 		}
@@ -221,5 +221,5 @@ func (m *Memory) Police(now sim.Time, addr uint64, cfg PolicerConfig, pktLen uin
 	binary.BigEndian.PutUint64(b[0:8], tokens)
 	binary.BigEndian.PutUint64(b[8:16], uint64(now))
 	m.store(addr, b[:])
-	return conform, m.complete(addr, m.occupy(m.engineFor(addr), now, serviceCycles(24, addCycles)))
+	return conform, m.complete(now, addr, m.occupy(m.engineFor(addr), now, serviceCycles(24, addCycles)))
 }

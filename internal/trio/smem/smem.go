@@ -23,6 +23,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"github.com/trioml/triogo/internal/obs"
 	"github.com/trioml/triogo/internal/sim"
 )
 
@@ -117,6 +118,12 @@ type Memory struct {
 	// answers nearly every lookup without touching the page map.
 	lastPageIdx uint64
 	lastPage    *[pageSize]byte
+
+	// Histograms attached by RegisterObs; obsOn keeps the default data
+	// path to a single predictable branch.
+	obsOn     bool
+	tierHist  [numTiers]*obs.Histogram
+	queueHist *obs.Histogram
 }
 
 // New builds a memory system from cfg; zero fields take defaults.
@@ -269,6 +276,9 @@ func (m *Memory) occupy(e *engine, now sim.Time, cycles uint64) sim.Time {
 			e.maxQueueing = queue
 		}
 	}
+	if m.obsOn {
+		m.queueHist.Observe(float64(queue))
+	}
 	e.backlog += cycles
 	e.ops++
 	e.busyCycles += cycles
@@ -290,10 +300,27 @@ func (m *Memory) latencyOf(addr uint64) sim.Time {
 	panic(fmt.Sprintf("smem: address %#x outside unified address space", addr))
 }
 
-// complete computes the PPE-observed completion time of a request to addr
-// whose engine finishes at engineDone.
-func (m *Memory) complete(addr uint64, engineDone sim.Time) sim.Time {
-	return engineDone + m.latencyOf(addr)
+// tierIdx is latencyOf reduced to the tier index, same branch ladder.
+func (m *Memory) tierIdx(addr uint64) TierKind {
+	if addr < m.tiers[TierCache].Base {
+		return TierSRAM
+	}
+	if addr < m.tiers[TierDRAM].Base {
+		return TierCache
+	}
+	return TierDRAM
+}
+
+// complete computes the PPE-observed completion time of a request issued at
+// now to addr whose engine finishes at engineDone. With RegisterObs
+// attached it also feeds the per-tier latency histogram (queueing + service
+// + tier latency, the full PPE-observed access time).
+func (m *Memory) complete(now sim.Time, addr uint64, engineDone sim.Time) sim.Time {
+	done := engineDone + m.latencyOf(addr)
+	if m.obsOn {
+		m.tierHist[m.tierIdx(addr)].Observe(float64(done - now))
+	}
+	return done
 }
 
 func checkTxnSize(size int) {
@@ -315,7 +342,7 @@ func (m *Memory) ReadInto(now sim.Time, addr uint64, b []byte) sim.Time {
 	checkTxnSize(len(b))
 	m.load(addr, b)
 	done := m.occupy(m.engineFor(addr), now, serviceCycles(len(b), 1))
-	return m.complete(addr, done)
+	return m.complete(now, addr, done)
 }
 
 // Write performs a write transaction of 8–64 bytes (8-byte increments).
@@ -323,7 +350,7 @@ func (m *Memory) Write(now sim.Time, addr uint64, data []byte) sim.Time {
 	checkTxnSize(len(data))
 	m.store(addr, data)
 	done := m.occupy(m.engineFor(addr), now, serviceCycles(len(data), 1))
-	return m.complete(addr, done)
+	return m.complete(now, addr, done)
 }
 
 // ReadRaw reads arbitrary bytes without engine accounting — a control-plane

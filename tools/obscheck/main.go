@@ -1,0 +1,62 @@
+// Command obscheck verifies that OBSERVABILITY.md documents every metric
+// the code can export. It instantiates each instrumented subsystem (sim
+// engine, PFE + shared memory, hostagg server on a loopback socket),
+// registers them all into one obs.Registry, and fails if any registered
+// metric name is missing from the document. Run by `make verify`.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/trioml/triogo/internal/hostagg"
+	"github.com/trioml/triogo/internal/obs"
+	"github.com/trioml/triogo/internal/sim"
+	"github.com/trioml/triogo/internal/trio/pfe"
+)
+
+func main() {
+	doc := "OBSERVABILITY.md"
+	if len(os.Args) > 1 {
+		doc = os.Args[1]
+	}
+	text, err := os.ReadFile(doc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obscheck: %v (run from the repo root)\n", err)
+		os.Exit(1)
+	}
+
+	reg := obs.NewRegistry()
+
+	eng := sim.NewEngine()
+	eng.RegisterObs(reg)
+
+	p := pfe.New(eng, pfe.Config{})
+	p.RegisterObs(reg)
+	p.Mem.RegisterObs(reg)
+
+	srv, err := hostagg.NewServer(hostagg.ServerConfig{ListenAddr: "127.0.0.1:0", NumWorkers: 1})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obscheck: start hostagg server: %v\n", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	srv.RegisterObs(reg)
+
+	names := reg.Names()
+	var missing []string
+	for _, n := range names {
+		if !strings.Contains(string(text), "`"+n+"`") {
+			missing = append(missing, n)
+		}
+	}
+	if len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "obscheck: %d metric(s) not documented in %s:\n", len(missing), doc)
+		for _, n := range missing {
+			fmt.Fprintf(os.Stderr, "  %s\n", n)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("obscheck: all %d exported metrics documented in %s\n", len(names), doc)
+}
