@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet verify verify-hostagg verify-vfp verify-obs bench-hostagg bench-sim
+.PHONY: build test vet verify verify-hostagg verify-vfp verify-obs verify-faults chaos bench-hostagg bench-sim
 
 build:
 	$(GO) build ./...
@@ -15,10 +15,21 @@ vet:
 # race suites of the concurrency-critical layers (hostagg's sharded hot
 # path, vfp's host datapath, obs's atomic instruments) and the metric
 # documentation check.
-verify: build test vet verify-hostagg verify-vfp verify-obs
+verify: build test vet verify-hostagg verify-vfp verify-obs verify-faults
 
 verify-hostagg:
 	$(GO) test -race ./internal/hostagg/...
+
+# verify-faults races the fault-injection plan and the crash/rejoin training
+# clusters that consume it.
+verify-faults:
+	$(GO) test -race ./internal/faults/... ./internal/mltrain/...
+
+# chaos runs the fault-sweep experiment at seed 1 and diffs the summary
+# table against the golden capture (quick mode, same as the pinned test).
+chaos:
+	$(GO) run ./cmd/triobench -exp chaos -seed 1 -quiet | diff -u internal/harness/testdata/golden_chaos_seed1.txt -
+	@echo "chaos: summary table matches golden capture"
 
 verify-vfp:
 	$(GO) test -race ./internal/vfp/...

@@ -9,6 +9,11 @@
 // Quick mode (default) shrinks sweep sizes so the whole suite runs in about
 // a minute; -full uses paper-scale parameters (several minutes).
 //
+// Beyond the paper's own tables, -exp chaos sweeps the fault-injection
+// subsystem (internal/faults) across fault families and rates, reporting
+// recovery time, goodput, and bit-exactness against a fault-free oracle;
+// it exits non-zero if recovery exceeds the §5 bound or any sum diverges.
+//
 // -trace records dispatch, PPE, RMW/hash, and egress spans from the
 // simulated PFE into a chrome://tracing / Perfetto JSON file; -metrics
 // writes a Prometheus text dump of the engine/PFE/shared-memory registries

@@ -1,14 +1,20 @@
 package hostagg
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"github.com/trioml/triogo/internal/packet"
 )
+
+// ErrGaveUp reports that an operation kept hitting transient network errors
+// and exhausted its retry budget. Match with errors.Is.
+var ErrGaveUp = errors.New("gave up after transient network errors")
 
 // ClientConfig parameterizes a worker client.
 type ClientConfig struct {
@@ -20,6 +26,33 @@ type ClientConfig struct {
 	// while it is full are dropped (UDP semantics) and counted in
 	// ClientStats.Dropped. Default 1024.
 	ResultBuffer int
+
+	// RetryBase is the first backoff after a transient network error (EINTR,
+	// ENOBUFS, ECONNREFUSED, ...); it doubles per consecutive failure up to
+	// RetryCap. Defaults: 1ms base, 100ms cap.
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// MaxRetries bounds consecutive SendBlock retries before the call fails
+	// with ErrGaveUp. Default 8.
+	MaxRetries int
+	// RetransmitEvery, when positive, makes AllReduce periodically resend
+	// every sent-but-unanswered block — the end-host loss recovery of §5
+	// (the server's ReplayWindow keeps retransmits idempotent). Zero
+	// disables retransmission.
+	RetransmitEvery time.Duration
+}
+
+// transientNetErr reports whether err is a transient kernel-level network
+// error worth retrying: interrupted syscalls, exhausted socket buffers, and
+// the connection-refused bounces a connected UDP socket surfaces while its
+// peer is (re)starting.
+func transientNetErr(err error) bool {
+	return errors.Is(err, syscall.EINTR) ||
+		errors.Is(err, syscall.EAGAIN) ||
+		errors.Is(err, syscall.ENOBUFS) ||
+		errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.EHOSTUNREACH) ||
+		errors.Is(err, syscall.ENETUNREACH)
 }
 
 // Result is one aggregated block delivered to the application.
@@ -33,8 +66,11 @@ type Result struct {
 
 // ClientStats is a snapshot of the client's receive-side counters.
 type ClientStats struct {
-	Delivered uint64 // results handed to the Results channel
-	Dropped   uint64 // results discarded because the channel was full
+	Delivered   uint64 // results handed to the Results channel
+	Dropped     uint64 // results discarded because the channel was full
+	SendRetries uint64 // transient send errors retried with backoff
+	RecvRetries uint64 // transient receive errors retried with backoff
+	Retransmits uint64 // blocks resent by AllReduce's RetransmitEvery timer
 }
 
 // Client streams gradient blocks to a hostagg server and collects results.
@@ -52,8 +88,11 @@ type Client struct {
 	failOnce sync.Once
 	failErr  error
 
-	delivered atomic.Uint64
-	dropped   atomic.Uint64
+	delivered   atomic.Uint64
+	dropped     atomic.Uint64
+	sendRetries atomic.Uint64
+	recvRetries atomic.Uint64
+	retransmits atomic.Uint64
 
 	stopped sync.WaitGroup
 }
@@ -65,6 +104,15 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	}
 	if cfg.ResultBuffer <= 0 {
 		cfg.ResultBuffer = 1024
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = time.Millisecond
+	}
+	if cfg.RetryCap <= 0 {
+		cfg.RetryCap = 100 * time.Millisecond
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 8
 	}
 	addr, err := net.ResolveUDPAddr("udp", cfg.ServerAddr)
 	if err != nil {
@@ -100,7 +148,34 @@ func (c *Client) Close() error {
 
 // Stats returns a snapshot of the receive-side counters.
 func (c *Client) Stats() ClientStats {
-	return ClientStats{Delivered: c.delivered.Load(), Dropped: c.dropped.Load()}
+	return ClientStats{
+		Delivered:   c.delivered.Load(),
+		Dropped:     c.dropped.Load(),
+		SendRetries: c.sendRetries.Load(),
+		RecvRetries: c.recvRetries.Load(),
+		Retransmits: c.retransmits.Load(),
+	}
+}
+
+// sleepBackoff waits for d unless the client is closed first.
+func (c *Client) sleepBackoff(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-c.closed:
+		return false
+	}
+}
+
+// nextBackoff doubles cur up to the configured cap.
+func (c *Client) nextBackoff(cur time.Duration) time.Duration {
+	cur *= 2
+	if cur > c.cfg.RetryCap {
+		cur = c.cfg.RetryCap
+	}
+	return cur
 }
 
 // Err reports why the receive loop stopped, or nil while it is healthy.
@@ -121,7 +196,10 @@ func (c *Client) fail(err error) {
 	})
 }
 
-// SendBlock transmits one gradient block.
+// SendBlock transmits one gradient block, absorbing transient network
+// errors with capped exponential backoff. It fails with ErrGaveUp after
+// MaxRetries consecutive transient errors, and immediately on anything
+// non-transient.
 func (c *Client) SendBlock(blockID uint32, genID uint16, grads []int32, final bool) error {
 	if len(grads) > packet.MaxGradientsPerPacket {
 		return fmt.Errorf("hostagg: %d gradients exceeds packet max %d", len(grads), packet.MaxGradientsPerPacket)
@@ -133,8 +211,26 @@ func (c *Client) SendBlock(blockID uint32, genID uint16, grads []int32, final bo
 	payload := make([]byte, packet.TrioMLHeaderLen+4*len(grads))
 	hdr.MarshalTo(payload)
 	packet.PutGradients(payload[packet.TrioMLHeaderLen:], grads)
-	_, err := c.conn.Write(payload)
-	return err
+
+	backoff := c.cfg.RetryBase
+	for attempt := 0; ; attempt++ {
+		_, err := c.conn.Write(payload)
+		if err == nil {
+			return nil
+		}
+		if !transientNetErr(err) {
+			return err
+		}
+		if attempt >= c.cfg.MaxRetries {
+			return fmt.Errorf("hostagg: send block %d: %w (%d attempts, last: %v)",
+				blockID, ErrGaveUp, attempt+1, err)
+		}
+		c.sendRetries.Add(1)
+		if !c.sleepBackoff(backoff) {
+			return net.ErrClosed
+		}
+		backoff = c.nextBackoff(backoff)
+	}
 }
 
 // Results delivers aggregated blocks as they arrive. The channel is never
@@ -171,6 +267,12 @@ func (c *Client) AllReduce(genID uint16, grads []int32, blockGrads, numWorkers i
 		return nil, err
 	}
 	deadline := time.After(timeout)
+	var retx <-chan time.Time
+	if c.cfg.RetransmitEvery > 0 {
+		t := time.NewTicker(c.cfg.RetransmitEvery)
+		defer t.Stop()
+		retx = t.C
+	}
 	for len(got) < nBlocks {
 		select {
 		case r := <-c.results:
@@ -193,6 +295,25 @@ func (c *Client) AllReduce(genID uint16, grads []int32, blockGrads, numWorkers i
 			if err := sendNext(); err != nil {
 				return nil, err
 			}
+		case <-retx:
+			// Resend every sent-but-unanswered block: repairs contributions
+			// the network (or an injected fault) lost, and — with the
+			// server's ReplayWindow — recovers results whose first copy
+			// never arrived.
+			for b := 0; b < next; b++ {
+				if got[uint32(b)] {
+					continue
+				}
+				lo := b * blockGrads
+				hi := lo + blockGrads
+				if hi > len(grads) {
+					hi = len(grads)
+				}
+				if err := c.SendBlock(uint32(b), genID, grads[lo:hi], b == nBlocks-1); err != nil {
+					return nil, err
+				}
+				c.retransmits.Add(1)
+			}
 		case <-c.failed:
 			return nil, fmt.Errorf("hostagg: receive loop failed with %d/%d blocks: %w", len(got), nBlocks, c.failErr)
 		case <-deadline:
@@ -209,20 +330,34 @@ func (c *Client) AllReduce(genID uint16, grads []int32, blockGrads, numWorkers i
 func (c *Client) recvLoop() {
 	defer c.stopped.Done()
 	buf := make([]byte, 65536)
+	backoff := c.cfg.RetryBase
 	for {
 		n, err := c.conn.Read(buf)
 		if err != nil {
 			select {
 			case <-c.closed:
+				return
 			default:
-				// Leave c.results open: closing it would feed receivers an
-				// endless stream of zero-value Results (gen 0, block 0)
-				// that could silently zero out real gradients. Signal the
-				// failure explicitly instead.
-				c.fail(err)
 			}
+			if transientNetErr(err) {
+				// ECONNREFUSED and friends surface here while the server
+				// restarts; back off and keep listening rather than killing
+				// the client. The schedule resets on the next good read.
+				c.recvRetries.Add(1)
+				if !c.sleepBackoff(backoff) {
+					return
+				}
+				backoff = c.nextBackoff(backoff)
+				continue
+			}
+			// Leave c.results open: closing it would feed receivers an
+			// endless stream of zero-value Results (gen 0, block 0)
+			// that could silently zero out real gradients. Signal the
+			// failure explicitly instead.
+			c.fail(err)
 			return
 		}
+		backoff = c.cfg.RetryBase
 		var h packet.TrioML
 		rest, err := h.Unmarshal(buf[:n])
 		if err != nil || h.SrcID != 0xFF || h.JobID != c.cfg.JobID {

@@ -1,0 +1,360 @@
+package hostagg
+
+import (
+	"errors"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/trioml/triogo/internal/faults"
+	"github.com/trioml/triogo/internal/packet"
+)
+
+func TestTransientNetErrClassification(t *testing.T) {
+	for _, err := range []error{syscall.EINTR, syscall.EAGAIN, syscall.ENOBUFS,
+		syscall.ECONNREFUSED, syscall.EHOSTUNREACH, syscall.ENETUNREACH} {
+		if !transientNetErr(err) {
+			t.Errorf("%v not classified transient", err)
+		}
+	}
+	if transientNetErr(syscall.EBADF) || transientNetErr(errors.New("boom")) {
+		t.Error("non-transient error classified transient")
+	}
+	if !errors.Is(errors.Join(ErrGaveUp), ErrGaveUp) {
+		t.Error("ErrGaveUp does not match itself through errors.Is")
+	}
+}
+
+// TestClientSurvivesFlappingServer is the flapping-socket regression test: a
+// connected UDP socket surfaces ECONNREFUSED on reads and writes while its
+// peer is down (the kernel reflects the ICMP port-unreachable back through
+// the socket). The client must absorb those with backoff — not kill its
+// receive loop — and complete an allreduce once the server returns on the
+// same port.
+func TestClientSurvivesFlappingServer(t *testing.T) {
+	s1 := newTestServer(t, 2, 0)
+	addr := s1.Addr().String()
+
+	mk := func(src uint8) *Client {
+		c, err := NewClient(ClientConfig{
+			ServerAddr: addr, JobID: 1, SrcID: src, Window: 8,
+			RetryBase: time.Millisecond, RetryCap: 20 * time.Millisecond,
+			RetransmitEvery: 50 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		return c
+	}
+	c0, c1 := mk(0), mk(1)
+
+	// Take the server down and poke the dead port: the first write lands in
+	// the void and provokes the ICMP bounce, later writes collect it as
+	// ECONNREFUSED, which SendBlock must retry through.
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		_ = c0.SendBlock(1000+uint32(i), 1, []int32{1}, false) // errors absorbed or surfaced; either is fine here
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Server restarts on the same port; the clients' periodic retransmits
+	// must re-register them and finish the reduction.
+	s2, err := NewServer(ServerConfig{ListenAddr: addr, NumWorkers: 2, ReplayWindow: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s2.Close() })
+
+	const n = 512
+	var wg sync.WaitGroup
+	sums := make([][]int32, 2)
+	errs := make([]error, 2)
+	for w, c := range []*Client{c0, c1} {
+		w, c := w, c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			grads := make([]int32, n)
+			for i := range grads {
+				grads[i] = int32((w + 1) * (i + 1))
+			}
+			sums[w], errs[w] = c.AllReduce(2, grads, 128, 2, 10*time.Second)
+		}()
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d after restart: %v (stats %+v)", w, err, []ClientStats{c0.Stats(), c1.Stats()}[w])
+		}
+	}
+	for i := 0; i < n; i++ {
+		if want := int32(3 * (i + 1)); sums[0][i] != want || sums[1][i] != want {
+			t.Fatalf("gradient %d = %d/%d, want %d", i, sums[0][i], sums[1][i], want)
+		}
+	}
+	if c0.Err() != nil || c1.Err() != nil {
+		t.Fatalf("receive loop died on a transient error: %v / %v", c0.Err(), c1.Err())
+	}
+	st := c0.Stats()
+	if st.SendRetries+st.RecvRetries == 0 {
+		t.Fatalf("outage produced no retries: %+v", st)
+	}
+}
+
+// TestAllReduceSurvivesInjectedFaults drives a real loopback allreduce
+// through deterministic recv-drop and shard-crash injection: client
+// retransmits plus the server's replay cache must still converge on the
+// bit-exact full sum (aging stays off so no block can complete degraded).
+func TestAllReduceSurvivesInjectedFaults(t *testing.T) {
+	plan := faults.NewPlan(1, faults.Config{Hostagg: faults.HostaggConfig{
+		RecvDropProb: 0.3,
+		CrashEvery:   9,
+	}})
+	s, err := NewServer(ServerConfig{
+		ListenAddr: "127.0.0.1:0", NumWorkers: 2,
+		ReplayWindow: 64, Faults: plan.Hostagg(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	const n, blockGrads = 4096, 256
+	var wg sync.WaitGroup
+	sums := make([][]int32, 2)
+	errs := make([]error, 2)
+	for w := 0; w < 2; w++ {
+		w := w
+		c, err := NewClient(ClientConfig{
+			ServerAddr: s.Addr().String(), JobID: 1, SrcID: uint8(w), Window: 8,
+			RetransmitEvery: 25 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			grads := make([]int32, n)
+			for i := range grads {
+				grads[i] = int32((w + 1) * (i%113 - 56))
+			}
+			sums[w], errs[w] = c.AllReduce(1, grads, blockGrads, 2, 30*time.Second)
+		}()
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d under faults: %v", w, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		want := int32(3 * (i%113 - 56))
+		if sums[0][i] != want || sums[1][i] != want {
+			t.Fatalf("gradient %d = %d/%d, want %d (faults broke bit-exactness)", i, sums[0][i], sums[1][i], want)
+		}
+	}
+	fst := plan.Stats()
+	if fst.HostaggRecvDrops == 0 {
+		t.Fatal("injector never dropped a contribution — the test exercised nothing")
+	}
+	if fst.HostaggShardCrashes == 0 {
+		t.Fatal("injector never crashed a shard")
+	}
+	if st := s.Stats(); st.Degraded != 0 {
+		t.Fatalf("aging is off, yet %d degraded blocks", st.Degraded)
+	}
+}
+
+// TestOverloadShedding: block creation beyond MaxOpenBlocks is refused and
+// counted, while contributions to already-open blocks still land.
+func TestOverloadShedding(t *testing.T) {
+	s, err := NewServer(ServerConfig{ListenAddr: "127.0.0.1:0", NumWorkers: 2, MaxOpenBlocks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	c := newTestClient(t, s, 0)
+	for b := uint32(0); b < 5; b++ {
+		if err := c.SendBlock(b, 1, []int32{int32(b)}, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return s.Stats().Shed == 3 }, "3 shed creations")
+	if p := s.Pending(); p != 2 {
+		t.Fatalf("pending = %d, want 2", p)
+	}
+}
+
+// TestJobIdleEviction: a job that goes silent has its open blocks discarded
+// without emitting and is counted once, even with many shards scanning.
+func TestJobIdleEviction(t *testing.T) {
+	s, err := NewServer(ServerConfig{
+		ListenAddr: "127.0.0.1:0", NumWorkers: 2,
+		Timeout: 10 * time.Second, ScanInterval: 20 * time.Millisecond,
+		JobIdleTimeout: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	c := newTestClient(t, s, 0)
+	for b := uint32(0); b < 4; b++ {
+		if err := c.SendBlock(b, 1, []int32{1}, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return s.Stats().JobsExpired == 1 && s.Pending() == 0 }, "job eviction")
+	if st := s.Stats(); st.Degraded != 0 || st.BlocksTimedOut != 0 {
+		t.Fatalf("idle eviction emitted results: %+v", st)
+	}
+	select {
+	case r := <-c.Results():
+		t.Fatalf("evicted job still produced a result: %+v", r)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+// TestJobIdleTimeoutRequiresAging: the constructor rejects JobIdleTimeout
+// without Timeout, since the aging scanners perform the eviction.
+func TestJobIdleTimeoutRequiresAging(t *testing.T) {
+	_, err := NewServer(ServerConfig{ListenAddr: "127.0.0.1:0", NumWorkers: 2, JobIdleTimeout: time.Second})
+	if err == nil {
+		t.Fatal("JobIdleTimeout without Timeout accepted")
+	}
+}
+
+// TestResultReplayOnRetransmit: a retransmit for an already-served block is
+// answered from the replay cache — to the sender only — instead of re-opening
+// the block and eventually producing a bogus one-source result.
+func TestResultReplayOnRetransmit(t *testing.T) {
+	s, err := NewServer(ServerConfig{ListenAddr: "127.0.0.1:0", NumWorkers: 2, ReplayWindow: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	c0 := newTestClient(t, s, 0)
+	c1 := newTestClient(t, s, 1)
+	if err := c0.SendBlock(0, 1, []int32{5}, false); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if err := c1.SendBlock(0, 1, []int32{7}, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []*Client{c0, c1} {
+		select {
+		case r := <-c.Results():
+			if r.Grads[0] != 12 {
+				t.Fatalf("first serve sum = %d, want 12", r.Grads[0])
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("no first-serve result")
+		}
+	}
+	// c0's result "was lost"; it retransmits and must get the same full sum
+	// back while c1 sees nothing new.
+	if err := c0.SendBlock(0, 1, []int32{5}, false); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-c0.Results():
+		if r.Grads[0] != 12 || r.SrcCnt != 2 {
+			t.Fatalf("replayed result = %+v, want full sum 12 from 2 sources", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no replayed result")
+	}
+	waitFor(t, func() bool { return s.Stats().ResultReplays == 1 }, "replay counted")
+	if p := s.Pending(); p != 0 {
+		t.Fatalf("retransmit re-opened the block: pending = %d", p)
+	}
+	select {
+	case r := <-c1.Results():
+		t.Fatalf("replay leaked to a non-retransmitting worker: %+v", r)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+// waitFor polls cond for up to 5 s.
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// buildContribution marshals one contribution payload as a client would.
+func buildContribution(job uint8, block uint32, src uint8, gen uint16, grads []int32) []byte {
+	hdr := packet.TrioML{JobID: job, BlockID: block, SrcID: src, GenID: gen, GradCnt: uint16(len(grads))}
+	payload := make([]byte, packet.TrioMLHeaderLen+4*len(grads))
+	hdr.MarshalTo(payload)
+	packet.PutGradients(payload[packet.TrioMLHeaderLen:], grads)
+	return payload
+}
+
+// TestHandleAddZeroAlloc pins the aggregation fast path — a contribution
+// landing in an open block — at zero allocations: the wire bytes are summed
+// in place and no per-packet vector is parsed. The mask bit is rewound
+// between runs (alloc-free) so every iteration takes the add path.
+func TestHandleAddZeroAlloc(t *testing.T) {
+	s, err := NewServer(ServerConfig{ListenAddr: "127.0.0.1:0", NumWorkers: 3, RecvWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	from := s.Addr() // any valid return address
+	grads := make([]int32, packet.MaxGradientsPerPacket)
+	create := buildContribution(1, 0, 0, 1, grads)
+	add := buildContribution(1, 0, 1, 1, grads)
+	s.handle(s.conns[0], create, from)
+
+	k := key(1, 0)
+	sh := s.shardFor(k)
+	if n := testing.AllocsPerRun(1000, func() {
+		s.handle(s.conns[0], add, from)
+		sh.mu.Lock()
+		b := sh.blocks[k]
+		b.rcvdMask &^= 1 << 1
+		b.rcvdCnt--
+		sh.mu.Unlock()
+	}); n != 0 {
+		t.Fatalf("aggregation fast path allocated %.2f times per packet", n)
+	}
+}
+
+// BenchmarkHandleAdd measures the same path under the benchmark harness.
+func BenchmarkHandleAdd(b *testing.B) {
+	s, err := NewServer(ServerConfig{ListenAddr: "127.0.0.1:0", NumWorkers: 3, RecvWorkers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	from := s.Addr()
+	grads := make([]int32, packet.MaxGradientsPerPacket)
+	s.handle(s.conns[0], buildContribution(1, 0, 0, 1, grads), from)
+	add := buildContribution(1, 0, 1, 1, grads)
+	k := key(1, 0)
+	sh := s.shardFor(k)
+	b.SetBytes(int64(len(add)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.handle(s.conns[0], add, from)
+		sh.mu.Lock()
+		blk := sh.blocks[k]
+		blk.rcvdMask &^= 1 << 1
+		blk.rcvdCnt--
+		sh.mu.Unlock()
+	}
+}

@@ -43,6 +43,18 @@ func (s *Server) RegisterObs(r *obs.Registry) {
 	counter("triogo_hostagg_grad_mismatch_total", "packets",
 		"Contributions whose gradient count differed from the open block's.",
 		func() uint64 { return s.counters.gradMismatch.Load() })
+	counter("triogo_hostagg_shed_total", "packets",
+		"Contributions refused by the MaxOpenBlocks/MaxBlocksPerJob overload bounds.",
+		func() uint64 { return s.counters.shed.Load() })
+	counter("triogo_hostagg_jobs_expired_total", "jobs",
+		"Jobs evicted whole (blocks and registrations) by JobIdleTimeout.",
+		func() uint64 { return s.counters.jobsExpired.Load() })
+	counter("triogo_hostagg_blocks_timed_out_total", "blocks",
+		"Open blocks aged out by the shard scanners after a full timeout without progress.",
+		func() uint64 { return s.counters.blocksTimedOut.Load() })
+	counter("triogo_hostagg_result_replays_total", "results",
+		"Retransmitted contributions answered from the served-result replay cache.",
+		func() uint64 { return s.counters.resultReplays.Load() })
 	r.GaugeFunc(obs.Desc{
 		Name: "triogo_hostagg_pending_blocks", Unit: "blocks",
 		Help: "Open (partially aggregated) blocks across all shards.",

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/trioml/triogo/internal/faults"
 	"github.com/trioml/triogo/internal/packet"
 )
 
@@ -36,6 +37,28 @@ type ServerConfig struct {
 	RecvWorkers int
 	// Logger receives operational messages; nil uses slog.Default.
 	Logger *slog.Logger
+
+	// MaxOpenBlocks bounds the open (partially aggregated) blocks across
+	// all shards; contributions that would create a block beyond it are
+	// shed (counted in Stats.Shed). Zero means unlimited.
+	MaxOpenBlocks int
+	// MaxBlocksPerJob bounds the open blocks any one job may hold, so a
+	// runaway or malicious job cannot evict everyone else. Zero: unlimited.
+	MaxBlocksPerJob int
+	// JobIdleTimeout evicts all state of a job that has not sent a packet
+	// for this long: its open blocks are discarded without emitting and its
+	// worker registrations are dropped (counted in Stats.JobsExpired).
+	// Zero disables; it requires Timeout > 0 (the scanners do the work).
+	JobIdleTimeout time.Duration
+	// ReplayWindow retains the last N served results per shard and replays
+	// them to sources that retransmit a contribution for an already-served
+	// block — without it such a retransmit recreates the block and the
+	// source receives a wrong one-source result (or none, with aging off).
+	// Zero disables the cache.
+	ReplayWindow int
+	// Faults attaches deterministic recv-drop and shard-crash injection;
+	// nil (the default) leaves the server fault-free.
+	Faults *faults.HostaggInjector
 }
 
 type blockState struct {
@@ -56,9 +79,29 @@ type shard struct {
 	mu     sync.Mutex
 	blocks map[uint64]*blockState
 
+	// served retains recently emitted results for retransmit replay
+	// (ReplayWindow > 0), with FIFO eviction through ring/ringHead. The
+	// generation in each ring slot disambiguates it from a later re-serve
+	// of the same block id.
+	served   map[uint64]*servedBlock
+	ring     []servedSlot
+	ringHead int
+
+	flt *faults.HostaggShard // injected recv-drop/crash stream; nil when off
+
 	recv atomic.Uint64 // contributions that reached this shard's aggregation logic
 	emit atomic.Uint64 // results emitted from this shard (completed + aged)
 	drop atomic.Uint64 // duplicate and stale contributions discarded
+}
+
+type servedBlock struct {
+	b        *blockState
+	degraded bool
+}
+
+type servedSlot struct {
+	key uint64
+	gen uint16
 }
 
 // Server aggregates gradient blocks arriving over UDP and multicasts (by
@@ -75,6 +118,14 @@ type Server struct {
 
 	workersMu sync.RWMutex
 	workers   map[uint16]*net.UDPAddr // job<<8|src_id -> return address
+
+	// Bounded-memory accounting. Per-job arrays are indexed by the 8-bit
+	// job id; the hot path touches them with plain atomics so shedding
+	// checks never take a second lock.
+	openBlocks atomic.Int64      // open blocks across all shards
+	jobOpen    [256]atomic.Int64 // open blocks per job
+	jobLast    [256]atomic.Int64 // unix-nano of the job's last packet
+	jobExpired [256]atomic.Bool  // set while a job stands evicted
 
 	counters serverCounters
 	emitPool sync.Pool // *[]byte result payloads
@@ -95,6 +146,11 @@ type ServerStats struct {
 	BadPackets   uint64
 	GenRestarts  uint64 // blocks restarted in place by a newer generation
 	GradMismatch uint64 // contributions whose gradient count differed from the open block
+
+	Shed           uint64 // contributions refused by MaxOpenBlocks/MaxBlocksPerJob
+	JobsExpired    uint64 // jobs evicted whole by JobIdleTimeout
+	BlocksTimedOut uint64 // open blocks aged out by the scanners
+	ResultReplays  uint64 // retransmits answered from the served-result cache
 }
 
 // serverCounters are the live atomic counters behind ServerStats.
@@ -107,6 +163,11 @@ type serverCounters struct {
 	badPackets   atomic.Uint64
 	genRestarts  atomic.Uint64
 	gradMismatch atomic.Uint64
+
+	shed           atomic.Uint64
+	jobsExpired    atomic.Uint64
+	blocksTimedOut atomic.Uint64
+	resultReplays  atomic.Uint64
 }
 
 // key packs (job, block) like the data-plane hash key.
@@ -150,6 +211,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.RecvWorkers > 64 {
 		return nil, fmt.Errorf("hostagg: recv workers must be <= 64, got %d", cfg.RecvWorkers)
 	}
+	if cfg.JobIdleTimeout > 0 && cfg.Timeout <= 0 {
+		return nil, fmt.Errorf("hostagg: JobIdleTimeout requires Timeout > 0 (the aging scanners run the eviction)")
+	}
 	if _, err := net.ResolveUDPAddr("udp", cfg.ListenAddr); err != nil {
 		return nil, fmt.Errorf("hostagg: resolve %q: %w", cfg.ListenAddr, err)
 	}
@@ -165,7 +229,15 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		closed:     make(chan struct{}),
 	}
 	for i := range s.shards {
-		s.shards[i] = &shard{blocks: make(map[uint64]*blockState)}
+		sh := &shard{blocks: make(map[uint64]*blockState)}
+		if cfg.ReplayWindow > 0 {
+			sh.served = make(map[uint64]*servedBlock, cfg.ReplayWindow)
+			sh.ring = make([]servedSlot, cfg.ReplayWindow)
+		}
+		if cfg.Faults != nil {
+			sh.flt = cfg.Faults.Shard(i)
+		}
+		s.shards[i] = sh
 	}
 	s.emitPool.New = func() any {
 		b := make([]byte, 0, packet.TrioMLHeaderLen+4*packet.MaxGradientsPerPacket)
@@ -241,6 +313,11 @@ func (s *Server) Stats() ServerStats {
 		BadPackets:   s.counters.badPackets.Load(),
 		GenRestarts:  s.counters.genRestarts.Load(),
 		GradMismatch: s.counters.gradMismatch.Load(),
+
+		Shed:           s.counters.shed.Load(),
+		JobsExpired:    s.counters.jobsExpired.Load(),
+		BlocksTimedOut: s.counters.blocksTimedOut.Load(),
+		ResultReplays:  s.counters.resultReplays.Load(),
 	}
 }
 
@@ -304,25 +381,71 @@ func (s *Server) handle(conn *net.UDPConn, payload []byte, from *net.UDPAddr) {
 		s.counters.badPackets.Add(1)
 		return
 	}
-	grads, err := packet.Gradients(rest, int(h.GradCnt))
-	if err != nil || int(h.SrcID) >= s.cfg.NumWorkers {
+	// Length-validate only: the hot path sums wire bytes in place with
+	// AddGradients, so a per-packet []int32 is parsed solely when a block
+	// record adopts the vector (creation and generation restart).
+	if packet.CheckGradients(rest, int(h.GradCnt)) != nil || int(h.SrcID) >= s.cfg.NumWorkers {
 		s.counters.badPackets.Add(1)
 		return
 	}
+	now := time.Now()
 	s.counters.packets.Add(1)
 	s.register(uint16(h.JobID)<<8|uint16(h.SrcID), from)
+	s.jobLast[h.JobID].Store(now.UnixNano())
+	s.jobExpired[h.JobID].Store(false)
 
 	k := key(h.JobID, h.BlockID)
 	sh := s.shardFor(k)
-	sh.recv.Add(1)
 	sh.mu.Lock()
+	if sh.flt != nil && sh.flt.DropRecv() {
+		// Injected ingress loss: the contribution vanishes before the
+		// aggregation logic sees it (the injector counted it).
+		sh.mu.Unlock()
+		return
+	}
+	sh.recv.Add(1)
 	b := sh.blocks[k]
+	if b == nil && sh.served != nil {
+		if sb := sh.served[k]; sb != nil {
+			switch {
+			case h.GenID == sb.b.genID:
+				// Retransmit for a block already served: replay the cached
+				// result to the sender only, instead of re-opening the block
+				// and eventually answering with a wrong one-source sum.
+				sh.mu.Unlock()
+				s.counters.resultReplays.Add(1)
+				sh.emit.Add(1)
+				s.emit(conn, h.JobID, h.BlockID, sb.b, sb.degraded, []*net.UDPAddr{from})
+				return
+			case int16(h.GenID-sb.b.genID) < 0:
+				s.counters.staleDrops.Add(1)
+				sh.drop.Add(1)
+				sh.mu.Unlock()
+				return
+			default:
+				// Newer generation reuses the id: the cached result is dead.
+				delete(sh.served, k)
+			}
+		}
+	}
 	switch {
 	case b == nil:
-		// packet.Gradients allocated grads for this packet; the block can
-		// own it outright.
+		if (s.cfg.MaxOpenBlocks > 0 && s.openBlocks.Load() >= int64(s.cfg.MaxOpenBlocks)) ||
+			(s.cfg.MaxBlocksPerJob > 0 && s.jobOpen[h.JobID].Load() >= int64(s.cfg.MaxBlocksPerJob)) {
+			s.counters.shed.Add(1)
+			sh.mu.Unlock()
+			return
+		}
+		grads, gerr := packet.Gradients(rest, int(h.GradCnt))
+		if gerr != nil {
+			s.counters.badPackets.Add(1)
+			sh.mu.Unlock()
+			return
+		}
 		b = &blockState{sums: grads, genID: h.GenID, final: h.Final}
 		sh.blocks[k] = b
+		s.openBlocks.Add(1)
+		s.jobOpen[h.JobID].Add(1)
 	case h.GenID != b.genID && int16(h.GenID-b.genID) < 0:
 		s.counters.staleDrops.Add(1)
 		sh.drop.Add(1)
@@ -332,6 +455,12 @@ func (s *Server) handle(conn *net.UDPConn, payload []byte, from *net.UDPAddr) {
 		// Newer generation reuses the block id: restart in place, adopting
 		// the new packet's vector exactly — the new generation's block may
 		// be larger or smaller than the old one.
+		grads, gerr := packet.Gradients(rest, int(h.GradCnt))
+		if gerr != nil {
+			s.counters.badPackets.Add(1)
+			sh.mu.Unlock()
+			return
+		}
 		b.genID = h.GenID
 		b.rcvdMask, b.rcvdCnt = 0, 0
 		b.sums = grads
@@ -343,41 +472,78 @@ func (s *Server) handle(conn *net.UDPConn, payload []byte, from *net.UDPAddr) {
 		sh.mu.Unlock()
 		return
 	default:
-		if len(grads) != len(b.sums) {
+		n := int(h.GradCnt)
+		if n != len(b.sums) {
 			s.counters.gradMismatch.Add(1)
 			s.mismatchOnce.Do(func() {
 				s.log.Warn("hostagg: gradient count mismatch within a generation",
-					"job", h.JobID, "block", h.BlockID, "have", len(b.sums), "got", len(grads))
+					"job", h.JobID, "block", h.BlockID, "have", len(b.sums), "got", n)
 			})
-			if len(grads) > len(b.sums) {
-				grown := make([]int32, len(grads))
+			if n > len(b.sums) {
+				grown := make([]int32, n)
 				copy(grown, b.sums)
 				b.sums = grown
 			}
 		}
-		for i, g := range grads {
-			b.sums[i] += g
-		}
+		packet.AddGradients(b.sums, rest, n)
 		if h.Final {
 			b.final = true
 		}
 	}
 	b.rcvdMask |= 1 << h.SrcID
 	b.rcvdCnt++
-	b.lastRef = time.Now()
+	b.lastRef = now
 	b.refFlag = true
 
 	var done *blockState
 	if b.rcvdCnt >= s.cfg.NumWorkers {
 		done = b
 		delete(sh.blocks, k)
+		s.openBlocks.Add(-1)
+		s.jobOpen[h.JobID].Add(-1)
 		s.counters.completed.Add(1)
+		if sh.served != nil {
+			sh.cacheServedLocked(k, &servedBlock{b: b})
+		}
+	}
+	if sh.flt != nil && sh.flt.CrashNow() {
+		s.crashShardLocked(sh)
 	}
 	sh.mu.Unlock()
 
 	if done != nil {
 		sh.emit.Add(1)
 		s.emit(conn, h.JobID, h.BlockID, done, false, s.targets(h.JobID))
+	}
+}
+
+// cacheServedLocked inserts a served result with FIFO eviction through the
+// fixed-size ring; the generation stored in each slot disambiguates a slot
+// from a later re-serve of the same block id. Caller holds sh.mu.
+func (sh *shard) cacheServedLocked(k uint64, sb *servedBlock) {
+	slot := &sh.ring[sh.ringHead]
+	if old := sh.served[slot.key]; old != nil && old.b.genID == slot.gen {
+		delete(sh.served, slot.key)
+	}
+	*slot = servedSlot{key: k, gen: sb.b.genID}
+	sh.ringHead++
+	if sh.ringHead == len(sh.ring) {
+		sh.ringHead = 0
+	}
+	sh.served[k] = sb
+}
+
+// crashShardLocked models an injected shard crash: every open (partial)
+// block is discarded without emitting, as if the aggregation state was lost
+// and restarted empty. The served-result cache survives — sources recover
+// completed blocks by retransmitting into the replay path, and partial
+// blocks by retransmitting contributions that rebuild them from scratch.
+// Caller holds sh.mu.
+func (s *Server) crashShardLocked(sh *shard) {
+	for k := range sh.blocks {
+		s.openBlocks.Add(-1)
+		s.jobOpen[uint8(k>>32)].Add(-1)
+		delete(sh.blocks, k)
 	}
 }
 
@@ -413,17 +579,47 @@ func (s *Server) scanShard(sh *shard, conn *net.UDPConn) {
 			b     *blockState
 		}
 		var aged []agedBlock
+		var expiredJobs []uint8
 		sh.mu.Lock()
 		now := time.Now()
+		idleCutoff := int64(0)
+		if s.cfg.JobIdleTimeout > 0 {
+			idleCutoff = now.UnixNano() - int64(s.cfg.JobIdleTimeout)
+		}
 		for k, b := range sh.blocks {
+			job := uint8(k >> 32)
+			if idleCutoff != 0 {
+				if last := s.jobLast[job].Load(); last != 0 && last < idleCutoff {
+					// The whole job went quiet: discard its blocks without
+					// emitting, count the job once across all shards (the
+					// CAS arbitrates between concurrent scanners), and have
+					// the winner drop the job's worker registrations too.
+					delete(sh.blocks, k)
+					s.openBlocks.Add(-1)
+					s.jobOpen[job].Add(-1)
+					if s.jobExpired[job].CompareAndSwap(false, true) {
+						s.counters.jobsExpired.Add(1)
+						expiredJobs = append(expiredJobs, job)
+					}
+					continue
+				}
+			}
 			if b.refFlag {
 				b.refFlag = false
 				continue
 			}
 			if now.Sub(b.lastRef) >= s.cfg.Timeout && b.rcvdCnt > 0 {
-				aged = append(aged, agedBlock{uint8(k >> 32), uint32(k), b})
+				aged = append(aged, agedBlock{job, uint32(k), b})
 				delete(sh.blocks, k)
+				s.openBlocks.Add(-1)
+				s.jobOpen[job].Add(-1)
 				s.counters.degraded.Add(1)
+				s.counters.blocksTimedOut.Add(1)
+				if sh.served != nil {
+					// An aged block is served too: retransmits for it replay
+					// the same degraded result instead of re-opening it.
+					sh.cacheServedLocked(k, &servedBlock{b: b, degraded: true})
+				}
 			}
 		}
 		sh.mu.Unlock()
@@ -431,7 +627,21 @@ func (s *Server) scanShard(sh *shard, conn *net.UDPConn) {
 			sh.emit.Add(1)
 			s.emit(conn, a.job, a.block, a.b, true, s.targets(a.job))
 		}
+		for _, job := range expiredJobs {
+			s.dropJobWorkers(job)
+		}
 	}
+}
+
+// dropJobWorkers removes every worker registration belonging to job.
+func (s *Server) dropJobWorkers(job uint8) {
+	s.workersMu.Lock()
+	for k := range s.workers {
+		if uint8(k>>8) == job {
+			delete(s.workers, k)
+		}
+	}
+	s.workersMu.Unlock()
 }
 
 // emit sends a Result packet to every known worker, marshaling into a

@@ -3,6 +3,7 @@ package mltrain
 import (
 	"fmt"
 
+	"github.com/trioml/triogo/internal/faults"
 	"github.com/trioml/triogo/internal/netsim"
 	"github.com/trioml/triogo/internal/packet"
 	"github.com/trioml/triogo/internal/pisa"
@@ -68,6 +69,13 @@ type ClusterConfig struct {
 	// analyses are demoted from the job.
 	AdvancedMitigation uint64
 	AnalyzePeriod      sim.Time // default 100 ms
+
+	// Faults attaches a deterministic fault plan (seeded with Seed) across
+	// the cluster: the Link config applies to every link (each on its own
+	// stream) and the Train config schedules worker crash/rejoin. Zero
+	// crash-timing ranges are filled from the model's typical iteration
+	// time. Nil (the default) leaves every layer fault-free.
+	Faults *faults.Config
 }
 
 func (cfg *ClusterConfig) defaults() {
@@ -124,6 +132,11 @@ type Cluster struct {
 	stopTimers []*pfe.TimerThreads
 	linkSalt   uint64
 
+	// FaultPlan is the realized fault plan when Cfg.Faults is set (nil
+	// otherwise); read FaultPlan.Stats() for injected-fault counts.
+	FaultPlan *faults.Plan
+	trainFlt  *faults.TrainInjector
+
 	// TrioAgg / SwitchAgg expose the device application for inspection
 	// (whichever matches Cfg.System is non-nil).
 	TrioAgg   *trioml.Aggregator
@@ -139,6 +152,25 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	if cfg.System == SystemIdeal {
 		return c, nil // analytic path; no devices
+	}
+	if cfg.Faults != nil {
+		fc := *cfg.Faults
+		typical := cfg.Model.TypicalIter(cfg.LinkBandwidth)
+		if fc.Train.CrashProb > 0 {
+			// Fill zero crash-timing ranges so crashes land inside (and
+			// outages span a meaningful slice of) an iteration.
+			if fc.Train.CrashAfterMax == 0 {
+				fc.Train.CrashAfterMax = typical
+			}
+			if fc.Train.DowntimeMin == 0 {
+				fc.Train.DowntimeMin = typical / 2
+			}
+			if fc.Train.DowntimeMax == 0 {
+				fc.Train.DowntimeMax = 2 * typical
+			}
+		}
+		c.FaultPlan = faults.NewPlan(cfg.Seed, fc)
+		c.trainFlt = c.FaultPlan.Train(cfg.NumWorkers)
 	}
 
 	simGrads := cfg.Model.Gradients() / cfg.Scale
@@ -238,6 +270,9 @@ func (c *Cluster) linkCfg(bw uint64) netsim.LinkConfig {
 	return netsim.LinkConfig{
 		Bandwidth: bw, Propagation: 500 * sim.Nanosecond,
 		LossProb: c.Cfg.LossProb, LossSeed: c.Cfg.Seed*131 + c.linkSalt,
+		// Plan.Link is nil-safe and returns nil when link faults are off,
+		// keeping the link on its allocation-free fast path.
+		Faults: c.FaultPlan.Link(c.linkSalt),
 	}
 }
 
@@ -252,6 +287,7 @@ func (c *Cluster) buildWorkers(params WorkerParams, injector *Injector,
 			func(frame []byte, _ sim.Time) { inject(i, frame) })
 		w := newWorker(c.Eng, i, uint8(i), c.Cfg.NumWorkers, params, injector,
 			func(frame []byte) { up.Send(frame) }, c.onIterRecv)
+		w.crashFlt = c.trainFlt
 		attachDown(i, func(frame []byte, at sim.Time) { w.OnFrame(frame, at) })
 		c.workers = append(c.workers, w)
 	}

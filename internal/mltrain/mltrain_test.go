@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"github.com/trioml/triogo/internal/faults"
 	"github.com/trioml/triogo/internal/sim"
 )
 
@@ -402,5 +403,55 @@ func TestAdvancedMitigationRemovesDeadWorkerPenalty(t *testing.T) {
 	// penalty (timeout is 10 ms).
 	if plainLate-demotedLate < 8*sim.Millisecond {
 		t.Fatalf("penalty removed = %v, want >= 8 ms", plainLate-demotedLate)
+	}
+}
+
+func TestClusterSurvivesWorkerCrashes(t *testing.T) {
+	// Injected worker crashes (§7 resiliency): a crashed worker loses its
+	// in-flight iteration state and goes deaf for the outage; retransmission
+	// plus the aggregator's aging/dedup must still drive training to
+	// completion, and every crash must be matched by a rejoin.
+	run := func() (sim.Time, uint64) {
+		cfg := smallCfg(SystemTrioML, 0)
+		cfg.RetransmitAfter = 30 * sim.Millisecond
+		cfg.Faults = &faults.Config{
+			Train: faults.TrainConfig{CrashProb: 0.3},
+			Link:  faults.LinkConfig{DupProb: 0.02},
+		}
+		c, err := NewCluster(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 8 {
+			t.Fatalf("iterations = %d, want 8", len(res))
+		}
+		var crashes, rejoins uint64
+		for _, w := range c.Workers() {
+			crashes += w.Crashes
+			rejoins += w.Rejoins
+		}
+		if crashes == 0 {
+			t.Fatal("p=0.3 crash schedule fired no crashes over 8 iterations")
+		}
+		if rejoins != crashes {
+			t.Fatalf("crashes = %d but rejoins = %d", crashes, rejoins)
+		}
+		st := c.FaultPlan.Stats()
+		if st.TrainCrashes != crashes {
+			t.Fatalf("plan counted %d crashes, workers %d", st.TrainCrashes, crashes)
+		}
+		if st.LinkDuplicates == 0 {
+			t.Fatal("link duplication never fired")
+		}
+		return res[len(res)-1].End, crashes
+	}
+	endA, crashA := run()
+	endB, crashB := run()
+	if endA != endB || crashA != crashB {
+		t.Fatalf("crash-injected run not deterministic: %v/%d vs %v/%d", endA, crashA, endB, crashB)
 	}
 }

@@ -1,6 +1,7 @@
 package mltrain
 
 import (
+	"github.com/trioml/triogo/internal/faults"
 	"github.com/trioml/triogo/internal/packet"
 	"github.com/trioml/triogo/internal/sim"
 )
@@ -38,8 +39,14 @@ type Worker struct {
 	maxSeen  int // highest iteration observed in any result
 	recv     map[int]*iterRecv
 	finished map[int]bool       // iterations whose comm phase is done
+	reported map[int]bool       // iterations already counted by onIterRecv
 	retx     map[int]*retxTimer // armed retransmit timers by global block id
 	retxFree *retxTimer         // recycled timer records
+
+	// crashFlt schedules injected crash/rejoin; while crashed the worker
+	// drops every frame and its in-flight iteration state is lost.
+	crashFlt *faults.TrainInjector
+	crashed  bool
 
 	gradScratch []int32      // send-side scratch; BuildTrioML copies it out
 	frame       packet.Frame // receive-side decode scratch
@@ -49,6 +56,8 @@ type Worker struct {
 	ResultsRecv   uint64
 	BlocksSkipped uint64
 	Retransmits   uint64
+	Crashes       uint64
+	Rejoins       uint64
 }
 
 // WorkerParams describes the streaming protocol.
@@ -86,7 +95,7 @@ func newWorker(eng *sim.Engine, id int, srcID uint8, numWorkers int, cfg WorkerP
 		ID: id, SrcID: srcID, eng: eng, cfg: cfg, send: send,
 		injector: injector, numWorkers: numWorkers, onIterRecv: onIterRecv,
 		recv: make(map[int]*iterRecv), finished: make(map[int]bool),
-		retx: make(map[int]*retxTimer),
+		reported: make(map[int]bool), retx: make(map[int]*retxTimer),
 	}
 }
 
@@ -108,7 +117,47 @@ func (w *Worker) startIteration(i int) {
 	if w.injector != nil {
 		dur += w.injector.Delay(i, w.ID)
 	}
+	if w.crashFlt != nil {
+		if after, down, ok := w.crashFlt.Crash(i, w.ID); ok {
+			w.eng.After(after, func() { w.crashAt(i, down) })
+		}
+	}
 	w.eng.After(dur, func() { w.beginComm(i) })
+}
+
+// crashAt executes an injected crash: the worker loses every piece of
+// in-flight iteration state (received results, armed retransmit timers)
+// and goes deaf for the outage, then rejoins and restarts the iteration's
+// communication phase from nothing. Already-aggregated contributions are
+// re-sent on rejoin; the aggregator's source bitmask (plus §5 aging for
+// blocks whose results were already multicast) keeps that convergent.
+func (w *Worker) crashAt(i int, down sim.Time) {
+	if w.iter != i || w.finished[i] || w.crashed {
+		return // the schedule outran the run; nothing to crash
+	}
+	w.crashed = true
+	w.Crashes++
+	w.crashFlt.CountCrash()
+	delete(w.recv, i)
+	for _, t := range w.retx {
+		t.h.Stop()
+		w.dropRetx(t)
+	}
+	w.eng.After(down, func() { w.rejoin(i) })
+}
+
+// rejoin brings a crashed worker back: compute for the iteration is assumed
+// checkpointed, so it re-enters the communication phase directly.
+func (w *Worker) rejoin(i int) {
+	w.crashed = false
+	w.Rejoins++
+	if w.iter != i {
+		return
+	}
+	w.inComm = false
+	w.next = 0
+	w.pending = 0
+	w.beginComm(i)
 }
 
 func (w *Worker) beginComm(i int) {
@@ -221,6 +270,7 @@ func (w *Worker) finishComm(i int) {
 		nextIter = w.maxSeen + 1
 	}
 	delete(w.recv, i-2) // bounded memory: results older than 2 iterations are dead
+	delete(w.reported, i-2)
 	w.startIteration(nextIter)
 }
 
@@ -267,6 +317,9 @@ func (w *Worker) iterComplete(iter int) bool {
 
 // OnFrame ingests a frame from the worker's NIC.
 func (w *Worker) OnFrame(frame []byte, at sim.Time) {
+	if w.crashed {
+		return // the NIC is down for the outage
+	}
 	f := &w.frame
 	if err := packet.DecodeInto(f, frame); err != nil || !f.IsTrioML() {
 		return
@@ -302,7 +355,10 @@ func (w *Worker) OnFrame(frame []byte, at sim.Time) {
 	}
 	if len(r.got) == w.cfg.Blocks {
 		r.doneAt = at
-		if w.onIterRecv != nil {
+		// A crash wipes recv state, so a rejoined worker can re-complete an
+		// iteration it already reported; count each (worker, iteration) once.
+		if w.onIterRecv != nil && !w.reported[iter] {
+			w.reported[iter] = true
 			var sum float64
 			for _, fr := range r.got {
 				sum += fr

@@ -5,6 +5,7 @@
 package netsim
 
 import (
+	"github.com/trioml/triogo/internal/faults"
 	"github.com/trioml/triogo/internal/sim"
 )
 
@@ -19,6 +20,11 @@ type LinkConfig struct {
 	// seeds the deterministic drop stream.
 	LossProb float64
 	LossSeed uint64
+
+	// Faults attaches a fault injector for corruption, duplication,
+	// reordering, and link-flap windows; nil leaves the link fault-free
+	// (the default) with no change to timing or the loss stream.
+	Faults *faults.LinkInjector
 }
 
 // DefaultLinkConfig returns the testbed's 100 Gbps operating point.
@@ -41,6 +47,12 @@ type Link struct {
 	Frames  uint64
 	Bytes   uint64
 	Dropped uint64
+
+	// Injected-fault outcomes (0 without LinkConfig.Faults).
+	FlapDropped uint64
+	Corrupted   uint64
+	Duplicated  uint64
+	Reordered   uint64
 }
 
 // delivery carries one in-flight frame; instances recycle through Link.free
@@ -94,6 +106,34 @@ func (l *Link) Send(frame []byte) {
 		l.Dropped++
 		return
 	}
+	if l.cfg.Faults != nil {
+		v := l.cfg.Faults.Decide(start, len(frame)*8)
+		if v.Drop {
+			l.FlapDropped++
+			return
+		}
+		if v.CorruptBit >= 0 {
+			// Flip one bit in a copy: the caller's bytes may be aliased by
+			// other links (multicast) or retransmit buffers.
+			l.Corrupted++
+			corrupted := append([]byte(nil), frame...)
+			corrupted[v.CorruptBit/8] ^= 1 << (v.CorruptBit % 8)
+			frame = corrupted
+		}
+		if v.ExtraDelay > 0 {
+			l.Reordered++
+			arrive += v.ExtraDelay
+		}
+		if v.Duplicate {
+			l.Duplicated++
+			l.deliver(frame, arrive+v.DupDelay)
+		}
+	}
+	l.deliver(frame, arrive)
+}
+
+// deliver schedules one arrival, recycling delivery records.
+func (l *Link) deliver(frame []byte, arrive sim.Time) {
 	d := l.free
 	if d == nil {
 		d = &delivery{}

@@ -108,3 +108,24 @@ func Gradients(b []byte, count int) ([]int32, error) {
 	}
 	return out, nil
 }
+
+// AddGradients adds count big-endian int32 gradients from b into dst in
+// place — the allocation-free aggregation path for hot receive loops. Only
+// min(count, len(dst)) values are added. b must hold 4*count bytes
+// (validate with CheckGradients first).
+func AddGradients(dst []int32, b []byte, count int) {
+	if count > len(dst) {
+		count = len(dst)
+	}
+	for i := 0; i < count; i++ {
+		dst[i] += int32(binary.BigEndian.Uint32(b[4*i:]))
+	}
+}
+
+// CheckGradients validates that b holds count serialized gradients.
+func CheckGradients(b []byte, count int) error {
+	if len(b) < 4*count {
+		return fmt.Errorf("gradients: %w (%d bytes for %d gradients)", ErrTruncated, len(b), count)
+	}
+	return nil
+}

@@ -116,6 +116,23 @@ func (t *Table) Update(now sim.Time, key, val uint64) (ok bool, done sim.Time) {
 	return false, done
 }
 
+// ClearRef clears a record's REF flag without otherwise touching it — the
+// inverse of the reference a Lookup just took. Aggregation programs use it
+// when a lookup turns out to be a retransmitted duplicate: a duplicate is
+// not forward progress, so it must not keep the record alive against the
+// timer threads (otherwise periodic retransmission livelocks aging).
+func (t *Table) ClearRef(now sim.Time, key uint64) (ok bool, done sim.Time) {
+	done = now + t.cfg.OpLatency
+	b := t.buckets[t.bucket(key)]
+	for i := range b {
+		if b[i].key == key {
+			b[i].ref = false
+			return true, done
+		}
+	}
+	return false, done
+}
+
 // Delete removes a record.
 func (t *Table) Delete(now sim.Time, key uint64) (ok bool, done sim.Time) {
 	t.Deletes++

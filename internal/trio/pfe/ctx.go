@@ -216,6 +216,17 @@ func (c *Ctx) HashInsert(key, val uint64) bool {
 	return ok
 }
 
+// HashClearRef issues a synchronous hash-engine REF clear, undoing the
+// reference a prior lookup took (duplicate handling; see hasheng.ClearRef).
+func (c *Ctx) HashClearRef(key uint64) bool {
+	c.stats.XTXNs++
+	start := c.now
+	ok, done := c.pfe.Hash.ClearRef(c.now, key)
+	c.span("hash", "clear_ref", start, done)
+	c.wait(done)
+	return ok
+}
+
 // HashDelete issues a synchronous hash-engine delete.
 func (c *Ctx) HashDelete(key uint64) bool {
 	c.stats.XTXNs++

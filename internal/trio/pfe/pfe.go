@@ -13,6 +13,7 @@ package pfe
 import (
 	"fmt"
 
+	"github.com/trioml/triogo/internal/faults"
 	"github.com/trioml/triogo/internal/obs"
 	"github.com/trioml/triogo/internal/sim"
 	"github.com/trioml/triogo/internal/trio/hasheng"
@@ -129,7 +130,8 @@ type PFE struct {
 	ctxFree *Ctx    // recycled thread contexts
 	outFree *outEvt // recycled egress delivery events
 
-	trace *obs.Trace // nil: tracing off (the default; see SetTrace)
+	trace  *obs.Trace          // nil: tracing off (the default; see SetTrace)
+	faults *faults.PFEInjector // nil: thread-stall injection off (the default)
 }
 
 type portState struct {
@@ -192,6 +194,13 @@ func New(eng *sim.Engine, cfg Config) *PFE {
 
 // SetApp installs the packet-processing application.
 func (p *PFE) SetApp(app App) { p.app = app }
+
+// SetFaults attaches a PPE thread-stall injector (nil: off). A stalled work
+// item occupies its thread for the injected duration before executing —
+// modeling a PPE that temporarily stops making progress, the failure the §5
+// timer threads exist to survive. Memory bank-error injection is separate:
+// attach it via Mem.SetFaults.
+func (p *PFE) SetFaults(f *faults.PFEInjector) { p.faults = f }
 
 // SetOutput installs the egress delivery hook.
 func (p *PFE) SetOutput(out Output) { p.out = out }
@@ -307,6 +316,11 @@ func (p *PFE) runWork(w work) {
 	// The trace thread id is the busy-slot index (1..cap): stacked tracks in
 	// the viewer read directly as instantaneous pool occupancy.
 	ctx.tslot = int64(p.pool.cap - p.pool.free)
+	if p.faults != nil {
+		// An injected stall holds the thread busy before any processing:
+		// the packet (or timer firing) sits on a wedged PPE.
+		ctx.now += p.faults.Stall()
+	}
 	start := ctx.now
 	if w.pkt != nil {
 		p.stats.Dispatched++

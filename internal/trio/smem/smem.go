@@ -23,6 +23,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"github.com/trioml/triogo/internal/faults"
 	"github.com/trioml/triogo/internal/obs"
 	"github.com/trioml/triogo/internal/sim"
 )
@@ -124,7 +125,16 @@ type Memory struct {
 	obsOn     bool
 	tierHist  [numTiers]*obs.Histogram
 	queueHist *obs.Histogram
+
+	faults *faults.MemInjector // nil: bank-error injection off (the default)
 }
+
+// SetFaults attaches a bank-error injector (nil: off). An injected bank
+// error models a detected-and-retried ECC event on the owning RMW engine:
+// the request's data is exact, but it occupies the engine for the injector's
+// extra retry cycles, and the delay backpressures through the engine's
+// backlog exactly like real load.
+func (m *Memory) SetFaults(f *faults.MemInjector) { m.faults = f }
 
 // New builds a memory system from cfg; zero fields take defaults.
 func New(cfg Config) *Memory {
@@ -260,6 +270,9 @@ func serviceCycles(size int, opCyclesPerWord uint64) uint64 {
 // occupy charges an engine for a request issued at 'now' and returns the
 // virtual time at which the engine finishes the request.
 func (m *Memory) occupy(e *engine, now sim.Time, cycles uint64) sim.Time {
+	if m.faults != nil {
+		cycles += m.faults.BankError()
+	}
 	if now > e.lastTime {
 		elapsed := uint64((now - e.lastTime) / m.cfg.CycleTime)
 		if elapsed >= e.backlog {

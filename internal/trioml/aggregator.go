@@ -68,6 +68,7 @@ type Stats struct {
 	NoBufferDrops    uint64
 	StaleDrops       uint64
 	Duplicates       uint64
+	ResultReplays    uint64 // retransmits answered from the served-result cache
 	BlocksCreated    uint64
 	BlocksCompleted  uint64
 	BlocksDegraded   uint64 // straggler-mitigated partial results
@@ -90,6 +91,28 @@ type jobState struct {
 	freeRecs []uint64          // block record pool
 	bufOf    map[uint64]uint64 // hash key -> buffer, for pool recycling
 	demoted  map[uint8]bool    // sources removed by advanced mitigation
+
+	// Served-result replay cache (EnableResultReplay; nil when off). A
+	// contribution for a block whose result was already emitted gets the
+	// original Result frame re-sent instead of recreating a one-source
+	// record — the end-host retry idempotence NetRPC argues in-network
+	// compute needs. Host-side control-plane state, bounded by servedCap.
+	served     map[uint64]*servedResult
+	servedRing []servedKey
+	servedHead int
+	servedCap  int
+}
+
+type servedResult struct {
+	genID uint16
+	frame []byte
+}
+
+// servedKey is one FIFO-eviction slot; the generation disambiguates a ring
+// slot from a later re-serve of the same block id.
+type servedKey struct {
+	key uint64
+	gen uint16
 }
 
 // Aggregator is the Trio-ML application on one PFE.
@@ -202,6 +225,47 @@ func (a *Aggregator) InstallJob(cfg JobConfig) error {
 	return nil
 }
 
+// EnableResultReplay turns on the served-result cache for a job: the last
+// `window` emitted Result frames are retained host-side and replayed to a
+// source that retransmits a contribution for an already-served block. Off by
+// default — without it, such a retransmit recreates the block and ages out
+// as a one-source degraded result, which breaks bit-exactness for the
+// retransmitting source. Enable it whenever sources retransmit (fault runs).
+func (a *Aggregator) EnableResultReplay(jobID uint8, window int) error {
+	js := a.jobs[jobID]
+	if js == nil {
+		return fmt.Errorf("trioml: job %d not installed", jobID)
+	}
+	if window <= 0 {
+		window = 1024
+	}
+	js.served = make(map[uint64]*servedResult, window)
+	js.servedCap = window
+	return nil
+}
+
+// cacheServed retains a just-emitted Result frame for replay, evicting the
+// oldest entries beyond the window.
+func (js *jobState) cacheServed(key uint64, gen uint16, frame []byte) {
+	if old := js.served[key]; old != nil {
+		old.genID, old.frame = gen, frame
+	} else {
+		js.served[key] = &servedResult{genID: gen, frame: frame}
+	}
+	js.servedRing = append(js.servedRing, servedKey{key: key, gen: gen})
+	for len(js.servedRing)-js.servedHead > js.servedCap {
+		k := js.servedRing[js.servedHead]
+		js.servedHead++
+		if sr := js.served[k.key]; sr != nil && sr.genID == k.gen {
+			delete(js.served, k.key)
+		}
+	}
+	if js.servedHead > js.servedCap {
+		js.servedRing = append(js.servedRing[:0], js.servedRing[js.servedHead:]...)
+		js.servedHead = 0
+	}
+}
+
 // RemoveJob tears a job down (control plane). Outstanding blocks are
 // discarded.
 func (a *Aggregator) RemoveJob(jobID uint8) {
@@ -248,7 +312,12 @@ func (a *Aggregator) Process(ctx *pfe.Ctx) {
 		rec = decodeBlock(a.rec[:])
 		switch {
 		case h.GenID == rec.GenID && maskBit(&rec.RcvdMask, h.SrcID):
+			// A retransmitted duplicate is not forward progress: undo the
+			// REF the lookup just took, or periodic retransmission from a
+			// source missing its Result would keep refreshing the record
+			// and livelock the §5 aging that is supposed to release it.
 			a.stats.Duplicates++
+			ctx.HashClearRef(blockKey)
 			ctx.Drop()
 			return
 		case h.GenID != rec.GenID && genOlder(h.GenID, rec.GenID):
@@ -269,7 +338,27 @@ func (a *Aggregator) Process(ctx *pfe.Ctx) {
 			creating = true
 		}
 	} else {
-		// Block not found: consult the job record (job_id, -1).
+		// Block not found: a contribution for an already-served block is a
+		// retransmit whose Result got lost — replay the cached frame (when
+		// the cache is on) instead of recreating a one-source record.
+		if js != nil && js.served != nil {
+			if sr := js.served[blockKey]; sr != nil {
+				switch {
+				case h.GenID == sr.genID:
+					a.replayResult(ctx, js, sr)
+					return
+				case genOlder(h.GenID, sr.genID):
+					a.stats.StaleDrops++
+					ctx.Drop()
+					return
+				default:
+					// A newer generation reuses the block id; the cached
+					// result is dead.
+					delete(js.served, blockKey)
+				}
+			}
+		}
+		// Consult the job record (job_id, -1).
 		jobAddr, ok := ctx.HashLookup(Key(h.JobID, JobBlockID))
 		if !ok || js == nil {
 			a.stats.NoJobDrops++
@@ -472,18 +561,22 @@ func (a *Aggregator) finishBlock(ctx *pfe.Ctx, js *jobState, blockKey uint64, re
 		hdr.AgeOp = 1
 	}
 	spec := js.cfg.ResultSpec
+	var frame []byte
 	if js.cfg.UpstreamPort >= 0 {
 		// Hierarchical first level: contribute upward as one source.
 		hdr.SrcID = js.cfg.UpstreamSrcID
 		hdr.Degraded = degraded
-		frame := packet.BuildTrioML(spec, hdr, grads)
+		frame = packet.BuildTrioML(spec, hdr, grads)
 		ctx.Emit(js.cfg.UpstreamPort, frame)
 	} else {
 		hdr.SrcID = ResultSrcID
-		frame := packet.BuildTrioML(spec, hdr, grads)
+		frame = packet.BuildTrioML(spec, hdr, grads)
 		for _, p := range js.cfg.ResultPorts {
 			ctx.Emit(p, frame)
 		}
+	}
+	if js.served != nil {
+		js.cacheServed(blockKey, rec.GenID, frame)
 	}
 	a.stats.ResultsEmitted++
 	if degraded {
@@ -506,6 +599,23 @@ func (a *Aggregator) finishBlock(ctx *pfe.Ctx, js *jobState, blockKey uint64, re
 		job.BlockCurrCnt--
 	}
 	a.writeJob(ctx, uint64(rec.JobCtxPAddr), job)
+}
+
+// replayResult re-emits a cached Result frame for a retransmitted
+// contribution to an already-served block. The replayed bytes are the exact
+// frame the block's completion emitted, so every source converges on
+// identical sums no matter how many Result deliveries were lost.
+func (a *Aggregator) replayResult(ctx *pfe.Ctx, js *jobState, sr *servedResult) {
+	ctx.ChargeInstr(instrResultHeader)
+	if js.cfg.UpstreamPort >= 0 {
+		ctx.Emit(js.cfg.UpstreamPort, sr.frame)
+	} else {
+		for _, p := range js.cfg.ResultPorts {
+			ctx.Emit(p, sr.frame)
+		}
+	}
+	a.stats.ResultReplays++
+	ctx.Consume()
 }
 
 // distribute re-multicasts a Result packet arriving from an upper-level

@@ -10,6 +10,7 @@ import (
 	"os"
 	"strings"
 
+	"github.com/trioml/triogo/internal/faults"
 	"github.com/trioml/triogo/internal/hostagg"
 	"github.com/trioml/triogo/internal/obs"
 	"github.com/trioml/triogo/internal/sim"
@@ -43,6 +44,8 @@ func main() {
 	}
 	defer srv.Close()
 	srv.RegisterObs(reg)
+
+	faults.NewPlan(1, faults.Config{}).RegisterObs(reg)
 
 	names := reg.Names()
 	var missing []string
