@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet verify verify-hostagg verify-vfp verify-obs verify-faults chaos bench-hostagg bench-sim
+.PHONY: build test vet verify verify-hostagg verify-vfp verify-obs verify-faults verify-dse chaos smoke-examples bench-hostagg bench-sim bench-dse
 
 build:
 	$(GO) build ./...
@@ -13,9 +13,9 @@ vet:
 
 # verify is the tier-1 gate: full build + tests, whole-repo vet, then the
 # race suites of the concurrency-critical layers (hostagg's sharded hot
-# path, vfp's host datapath, obs's atomic instruments) and the metric
-# documentation check.
-verify: build test vet verify-hostagg verify-vfp verify-obs verify-faults
+# path, vfp's host datapath, obs's atomic instruments, dse's worker pool),
+# the metric documentation check, and an every-example smoke run.
+verify: build test vet verify-hostagg verify-vfp verify-obs verify-faults verify-dse smoke-examples
 
 verify-hostagg:
 	$(GO) test -race ./internal/hostagg/...
@@ -34,6 +34,24 @@ chaos:
 verify-vfp:
 	$(GO) test -race ./internal/vfp/...
 
+# verify-dse races the sweep executor/store and the parallel-vs-serial
+# determinism tests in the harness.
+verify-dse:
+	$(GO) test -race ./internal/dse/...
+	$(GO) test -race -run 'TestDSEParallelMatchesSerial|TestSecondSeedDeterminism' ./internal/harness/
+
+# smoke-examples builds every example and runs each briefly; they all
+# self-terminate, so a hang (caught by timeout) or nonzero exit fails.
+smoke-examples:
+	@mkdir -p .smoke-bin
+	@set -e; for d in examples/*/; do \
+		name=$$(basename $$d); \
+		$(GO) build -o .smoke-bin/$$name ./$$d; \
+		timeout 120 ./.smoke-bin/$$name > /dev/null || { echo "smoke-examples: $$name failed"; exit 1; }; \
+		echo "smoke-examples: $$name ok"; \
+	done
+	@rm -rf .smoke-bin
+
 # verify-obs races the registry/trace instruments and fails if any exported
 # metric name is missing from OBSERVABILITY.md.
 verify-obs:
@@ -51,3 +69,12 @@ bench-sim:
 	$(GO) run ./tools/benchsim -in .bench_sim_raw.txt -out BENCH_sim.json
 	@rm -f .bench_sim_raw.txt
 	@cat BENCH_sim.json
+
+# bench-dse measures the same 32-trial sweep with one worker and with
+# NumCPU workers and writes BENCH_dse.json with the speedup (~1.0 on
+# single-CPU hosts, where both configurations serialize the same work).
+bench-dse:
+	$(GO) test -run xxx -bench BenchmarkSweepWorkers -benchtime 3x ./internal/dse/ > .bench_dse_raw.txt
+	$(GO) run ./tools/benchdse -in .bench_dse_raw.txt -out BENCH_dse.json
+	@rm -f .bench_dse_raw.txt
+	@cat BENCH_dse.json

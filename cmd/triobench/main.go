@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	triobench [-exp all|table1,fig12,...] [-full] [-seed N] [-quiet] [-list]
-//	          [-trace out.json] [-metrics out.prom]
+//	triobench [-exp all|table1,fig12,...] [-full] [-seed N] [-parallel N]
+//	          [-quiet] [-list] [-trace out.json] [-metrics out.prom]
 //
 // Quick mode (default) shrinks sweep sizes so the whole suite runs in about
 // a minute; -full uses paper-scale parameters (several minutes).
@@ -13,12 +13,17 @@
 // subsystem (internal/faults) across fault families and rates, reporting
 // recovery time, goodput, and bit-exactness against a fault-free oracle;
 // it exits non-zero if recovery exceeds the §5 bound or any sum diverges.
+// -exp dse runs the design-space exploration sweep (internal/dse); -parallel
+// spreads its trials — and every other migrated sweep — over a worker pool
+// without changing a single output byte.
 //
 // -trace records dispatch, PPE, RMW/hash, and egress spans from the
 // simulated PFE into a chrome://tracing / Perfetto JSON file; -metrics
 // writes a Prometheus text dump of the engine/PFE/shared-memory registries
-// after the run. See OBSERVABILITY.md for the metric reference and a
-// worked trace example.
+// after the run. With multiple experiments selected, each experiment gets
+// its own dump — `out.prom` becomes `out_fig14.prom`, `out_fig15.prom`, ... —
+// so one experiment's rig never shadows another's. See OBSERVABILITY.md for
+// the metric reference and a worked trace example.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -33,25 +39,40 @@ import (
 	"github.com/trioml/triogo/internal/obs"
 )
 
-func main() { os.Exit(run()) }
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
-// run carries main's body so deferred cleanup (the trace file's JSON
-// terminator) happens before the process exit code is set.
-func run() int {
+type benchOpts struct {
+	names       []string
+	full        bool
+	seed        uint64
+	parallel    int
+	quiet       bool
+	tracePath   string
+	metricsPath string
+	stdout      io.Writer
+	stderr      io.Writer
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("triobench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiments to run, or 'all'")
-		full    = flag.Bool("full", false, "paper-scale sweeps instead of quick mode")
-		seed    = flag.Uint64("seed", 1, "experiment seed")
-		quiet   = flag.Bool("quiet", false, "suppress progress logging")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		trace   = flag.String("trace", "", "write a chrome://tracing JSON file of PFE activity")
-		metrics = flag.String("metrics", "", "write a Prometheus text-format metrics dump after the run")
+		exp      = fs.String("exp", "all", "comma-separated experiments to run, or 'all'")
+		full     = fs.Bool("full", false, "paper-scale sweeps instead of quick mode")
+		seed     = fs.Uint64("seed", 1, "experiment seed")
+		parallel = fs.Int("parallel", 1, "sweep worker-pool size (outputs are identical at any value)")
+		quiet    = fs.Bool("quiet", false, "suppress progress logging")
+		list     = fs.Bool("list", false, "list experiments and exit")
+		trace    = fs.String("trace", "", "write a chrome://tracing JSON file of PFE activity (per experiment)")
+		metrics  = fs.String("metrics", "", "write a Prometheus text-format metrics dump (per experiment)")
 	)
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, e := range harness.Experiments() {
-			fmt.Printf("  %-10s %s\n", e.Name, e.Desc)
+			fmt.Fprintf(stdout, "  %-10s %s\n", e.Name, e.Desc)
 		}
 		return 0
 	}
@@ -62,71 +83,102 @@ func run() int {
 			names = append(names, e.Name)
 		}
 	} else {
-		names = strings.Split(*exp, ",")
+		for _, n := range strings.Split(*exp, ",") {
+			names = append(names, strings.TrimSpace(n))
+		}
 	}
 
-	var logw io.Writer = os.Stderr
-	if *quiet {
+	return runExperiments(benchOpts{
+		names: names, full: *full, seed: *seed, parallel: *parallel,
+		quiet: *quiet, tracePath: *trace, metricsPath: *metrics,
+		stdout: stdout, stderr: stderr,
+	})
+}
+
+// dumpPath derives the per-experiment dump file: with a single experiment
+// the user's path is used as-is; with several, `out.prom` becomes
+// `out_fig14.prom` so each experiment's rig gets its own dump instead of
+// the last one silently overwriting the rest.
+func dumpPath(path, exp string, multi bool) string {
+	if !multi {
+		return path
+	}
+	ext := filepath.Ext(path)
+	return path[:len(path)-len(ext)] + "_" + exp + ext
+}
+
+func runExperiments(o benchOpts) int {
+	var logw io.Writer = o.stderr
+	if o.quiet {
 		logw = nil
 	}
-	params := harness.Params{Quick: !*full, Seed: *seed, Log: logw}
-	if *metrics != "" {
-		reg := obs.NewRegistry()
-		params.Obs = reg
-		// Sweeps rebuild their rig per point and func-backed series rebind,
-		// so the dump reflects the final rig of the last experiment;
-		// histograms accumulate across the whole run.
-		defer func() {
-			f, err := os.Create(*metrics)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "triobench: %v\n", err)
-				return
-			}
-			defer f.Close()
-			if err := reg.WritePrometheus(f); err != nil {
-				fmt.Fprintf(os.Stderr, "triobench: write metrics: %v\n", err)
-			}
-		}()
-	}
-	if *trace != "" {
-		tr, err := obs.CreateTrace(*trace, 0)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "triobench: %v\n", err)
-			return 1
-		}
-		params.Trace = tr
-		defer func() {
-			if dropped := tr.Dropped(); dropped > 0 {
-				fmt.Fprintf(os.Stderr, "triobench: trace hit the %d-event cap, dropped %d events\n",
-					obs.DefaultTraceMaxEvents, dropped)
-			}
-			if err := tr.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "triobench: close trace: %v\n", err)
-			}
-		}()
-	}
+	multi := len(o.names) > 1
 
 	exitCode := 0
-	for _, name := range names {
-		e, ok := harness.Lookup(strings.TrimSpace(name))
+	for _, name := range o.names {
+		e, ok := harness.Lookup(name)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "triobench: unknown experiment %q (use -list)\n", name)
+			fmt.Fprintf(o.stderr, "triobench: unknown experiment %q (use -list)\n", name)
 			exitCode = 2
 			continue
 		}
+		params := harness.Params{Quick: !o.full, Seed: o.seed, Parallel: o.parallel, Log: logw}
+		var reg *obs.Registry
+		if o.metricsPath != "" {
+			reg = obs.NewRegistry()
+			params.Obs = reg
+		}
+		var tr *obs.Trace
+		if o.tracePath != "" {
+			var err error
+			tr, err = obs.CreateTrace(dumpPath(o.tracePath, e.Name, multi), 0)
+			if err != nil {
+				fmt.Fprintf(o.stderr, "triobench: %v\n", err)
+				return 1
+			}
+			params.Trace = tr
+		}
+
 		start := time.Now()
 		tables, err := e.Run(params)
+		if tr != nil {
+			if dropped := tr.Dropped(); dropped > 0 {
+				fmt.Fprintf(o.stderr, "triobench: %s trace hit the %d-event cap, dropped %d events\n",
+					e.Name, obs.DefaultTraceMaxEvents, dropped)
+			}
+			if cerr := tr.Close(); cerr != nil {
+				fmt.Fprintf(o.stderr, "triobench: close trace: %v\n", cerr)
+			}
+		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "triobench: %s failed: %v\n", e.Name, err)
+			fmt.Fprintf(o.stderr, "triobench: %s failed: %v\n", e.Name, err)
 			exitCode = 1
 			continue
 		}
-		for _, t := range tables {
-			t.Render(os.Stdout)
+		if reg != nil {
+			if werr := writeMetrics(dumpPath(o.metricsPath, e.Name, multi), reg); werr != nil {
+				fmt.Fprintf(o.stderr, "triobench: %v\n", werr)
+				exitCode = 1
+			}
 		}
-		if !*quiet {
-			fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.Name, time.Since(start).Round(time.Millisecond))
+		for _, t := range tables {
+			t.Render(o.stdout)
+		}
+		if !o.quiet {
+			fmt.Fprintf(o.stderr, "[%s done in %v]\n", e.Name, time.Since(start).Round(time.Millisecond))
 		}
 	}
 	return exitCode
+}
+
+func writeMetrics(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WritePrometheus(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write metrics: %w", err)
+	}
+	return f.Close()
 }

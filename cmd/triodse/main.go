@@ -1,0 +1,116 @@
+// Command triodse runs the design-space exploration sweep (internal/dse)
+// over the simulated Trio rig, with a checkpointed JSONL store.
+//
+// Usage:
+//
+//	triodse -out sweep.jsonl [-parallel N] [-seed N] [-full] [-lhs N]
+//	        [-metrics out.prom] [-quiet]
+//
+// The store is crash-safe and resumable: interrupt the sweep (Ctrl-C),
+// rerun the same command, and completed trials are skipped; the finished
+// file is byte-identical to an uninterrupted run at any -parallel level.
+// -lhs N samples N Latin-hypercube points instead of the full grid.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"runtime"
+
+	"github.com/trioml/triogo/internal/dse"
+	"github.com/trioml/triogo/internal/harness"
+	"github.com/trioml/triogo/internal/obs"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		out      = flag.String("out", "dse.jsonl", "JSONL result store (resumed if it exists)")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "worker-pool size (results are identical at any value)")
+		seed     = flag.Uint64("seed", 1, "sweep seed; trial seeds derive from (seed, index)")
+		full     = flag.Bool("full", false, "full design space instead of the quick 16-point grid")
+		lhs      = flag.Int("lhs", 0, "sample N Latin-hypercube points instead of the full grid")
+		metrics  = flag.String("metrics", "", "write a Prometheus dump of the sweep's obs registry")
+		quiet    = flag.Bool("quiet", false, "suppress per-trial progress")
+	)
+	flag.Parse()
+
+	space := harness.DSESpace(!*full)
+	points := space.Grid()
+	if *lhs > 0 {
+		points = space.LatinHypercube(*lhs, *seed)
+	}
+
+	store, err := dse.OpenStore(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "triodse: %v\n", err)
+		return 1
+	}
+	defer store.Close()
+	if n := len(store.Completed()); n > 0 && !*quiet {
+		fmt.Fprintf(os.Stderr, "triodse: resuming %s: %d trials already complete\n", *out, n)
+	}
+
+	var logw io.Writer = os.Stderr
+	if *quiet {
+		logw = nil
+	}
+	reg := obs.NewRegistry()
+	ex := &dse.Executor{
+		Workers: *parallel,
+		Store:   store,
+		OnResult: func(r dse.Result) {
+			if logw == nil {
+				return
+			}
+			if r.Err != "" {
+				fmt.Fprintf(logw, "trial %4d/%d FAILED: %s\n", r.Trial+1, len(points), r.Err)
+				return
+			}
+			fmt.Fprintf(logw, "trial %4d/%d rate=%7.2f grad/us sram=%6.0f KB params=%v\n",
+				r.Trial+1, len(points), r.Metrics["rate_grad_per_us"], r.Metrics["smem_sram_bytes"]/1024, r.Params)
+		},
+	}
+	ex.RegisterObs(reg)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	p := harness.Params{Quick: !*full, Seed: *seed}
+	results, err := ex.Run(ctx, space, points, *seed, harness.DSERunner(p))
+
+	if *metrics != "" {
+		if f, ferr := os.Create(*metrics); ferr != nil {
+			fmt.Fprintf(os.Stderr, "triodse: %v\n", ferr)
+		} else {
+			if werr := reg.WritePrometheus(f); werr != nil {
+				fmt.Fprintf(os.Stderr, "triodse: write metrics: %v\n", werr)
+			}
+			f.Close()
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "triodse: %v (rerun to resume from %s)\n", err, *out)
+		return 1
+	}
+
+	failed := 0
+	for _, r := range results {
+		if r.Err != "" {
+			failed++
+		}
+	}
+	for _, t := range harness.DSETables(space, results) {
+		t.Render(os.Stdout)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "triodse: %d/%d trials failed\n", failed, len(results))
+		return 1
+	}
+	return 0
+}

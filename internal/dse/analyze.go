@@ -1,0 +1,109 @@
+package dse
+
+// Objective is one Pareto dimension: a metric name and its direction.
+type Objective struct {
+	Metric   string
+	Maximize bool
+}
+
+// Pareto returns the non-dominated subset of results under objs, preserving
+// trial order. A result dominates another when it is at least as good on
+// every objective and strictly better on at least one; exact ties on all
+// objectives keep both points. Trials with an Err or a missing objective
+// metric are excluded.
+func Pareto(results []Result, objs ...Objective) []Result {
+	var cand []Result
+	for _, r := range results {
+		if r.Err != "" || r.Metrics == nil {
+			continue
+		}
+		ok := true
+		for _, o := range objs {
+			if _, has := r.Metrics[o.Metric]; !has {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			cand = append(cand, r)
+		}
+	}
+	var out []Result
+	for i, r := range cand {
+		dominated := false
+		for j, q := range cand {
+			if i != j && dominates(q, r, objs) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func dominates(a, b Result, objs []Objective) bool {
+	better := false
+	for _, o := range objs {
+		av, bv := a.Metrics[o.Metric], b.Metrics[o.Metric]
+		if !o.Maximize {
+			av, bv = -av, -bv
+		}
+		if av < bv {
+			return false
+		}
+		if av > bv {
+			better = true
+		}
+	}
+	return better
+}
+
+// Sensitivity is the marginal effect of one axis value: statistics of a
+// metric over every trial that used that value while all other axes varied.
+type Sensitivity struct {
+	Axis  string
+	Value float64
+	N     int
+	Mean  float64
+	Min   float64
+	Max   float64
+}
+
+// SensitivityTable computes per-axis marginal statistics of metric, in axis
+// and value declaration order — a cheap main-effects view of which knobs
+// move a metric and by how much. Trials with an Err or without the metric
+// are skipped; values no surviving trial used report N = 0.
+func SensitivityTable(results []Result, space *Space, metric string) []Sensitivity {
+	var out []Sensitivity
+	for _, ax := range space.Axes {
+		for _, v := range ax.Values {
+			s := Sensitivity{Axis: ax.Name, Value: v}
+			sum := 0.0
+			for _, r := range results {
+				if r.Err != "" || r.Metrics == nil || r.Params[ax.Name] != v {
+					continue
+				}
+				m, has := r.Metrics[metric]
+				if !has {
+					continue
+				}
+				if s.N == 0 || m < s.Min {
+					s.Min = m
+				}
+				if s.N == 0 || m > s.Max {
+					s.Max = m
+				}
+				sum += m
+				s.N++
+			}
+			if s.N > 0 {
+				s.Mean = sum / float64(s.N)
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package dse
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/trioml/triogo/internal/obs"
+	"github.com/trioml/triogo/internal/sim"
+)
+
+// synthRunner is a deterministic stand-in for a simulator rig: its metrics
+// are pure functions of (Params, Seed), like a real isolated trial's.
+func synthRunner(t Trial) (map[string]float64, error) {
+	rng := sim.NewRNG(t.Seed, 0)
+	return map[string]float64{
+		"score": t.Params["a"]*100 + t.Params["b"] + float64(rng.IntN(1000))/1e6,
+		"cost":  t.Params["b"] * 2,
+	}, nil
+}
+
+// runToStore executes the test space's full grid into a fresh store file and
+// returns the file's bytes.
+func runToStore(t *testing.T, path string, workers int, runner Runner) []byte {
+	t.Helper()
+	st, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testSpace()
+	ex := &Executor{Workers: workers, Store: st}
+	if _, err := ex.Run(context.Background(), s, s.Grid(), 7, runner); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestParallelStoreBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	serial := runToStore(t, filepath.Join(dir, "w1.jsonl"), 1, synthRunner)
+	parallel := runToStore(t, filepath.Join(dir, "w8.jsonl"), 8, synthRunner)
+	if string(serial) != string(parallel) {
+		t.Fatalf("stores diverge across parallelism:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", serial, parallel)
+	}
+	if len(serial) == 0 {
+		t.Fatal("empty store")
+	}
+}
+
+func TestRunResultsInTrialOrder(t *testing.T) {
+	s := testSpace()
+	ex := &Executor{Workers: 4}
+	results, err := ex.Run(context.Background(), s, s.Grid(), 7, synthRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != s.Size() {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, r := range results {
+		if r.Trial != i {
+			t.Fatalf("result %d has trial %d", i, r.Trial)
+		}
+		if r.Seed != TrialSeed(7, i) {
+			t.Fatalf("trial %d seed %#x, want %#x", i, r.Seed, TrialSeed(7, i))
+		}
+		if r.Err != "" || r.Metrics["score"] == 0 {
+			t.Fatalf("trial %d: %+v", i, r)
+		}
+	}
+}
+
+func TestFailedTrialsRecordedNotFatal(t *testing.T) {
+	s := testSpace()
+	reg := obs.NewRegistry()
+	ex := &Executor{Workers: 2}
+	ex.RegisterObs(reg)
+	results, err := ex.Run(context.Background(), s, s.Grid(), 7, func(t Trial) (map[string]float64, error) {
+		if t.Index == 3 {
+			return nil, fmt.Errorf("boom %d", t.Index)
+		}
+		return synthRunner(t)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[3].Err != "boom 3" || results[3].Metrics != nil {
+		t.Fatalf("trial 3 = %+v", results[3])
+	}
+	if results[2].Err != "" {
+		t.Fatalf("trial 2 = %+v", results[2])
+	}
+	if got := ex.insts.failed.Value(); got != 1 {
+		t.Fatalf("failed counter = %d", got)
+	}
+	if got := ex.insts.completed.Value(); got != uint64(s.Size()-1) {
+		t.Fatalf("completed counter = %d", got)
+	}
+	if got := ex.insts.started.Value(); got != uint64(s.Size()) {
+		t.Fatalf("started counter = %d", got)
+	}
+	if busy := ex.insts.busy.Value(); busy != 0 {
+		t.Fatalf("busy gauge = %v after Run", busy)
+	}
+	if got := ex.insts.wall.Count(); got != uint64(s.Size()) {
+		t.Fatalf("wall histogram count = %d", got)
+	}
+}
+
+func TestRunRejectsSparseEnumeration(t *testing.T) {
+	s := testSpace()
+	pts := s.Grid()[2:4]
+	ex := &Executor{}
+	if _, err := ex.Run(context.Background(), s, pts, 7, synthRunner); err == nil {
+		t.Fatal("sparse enumeration accepted")
+	}
+}
+
+func TestContextCancelStopsFeeding(t *testing.T) {
+	s := NewSpace(Axis{Name: "a", Values: make([]float64, 64)})
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	ex := &Executor{Workers: 1}
+	results, err := ex.Run(ctx, s, s.Grid(), 7, func(t Trial) (map[string]float64, error) {
+		ran++
+		if ran == 5 {
+			cancel()
+		}
+		return map[string]float64{"x": 1}, nil
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v", err)
+	}
+	if ran >= 64 || ran < 5 {
+		t.Fatalf("ran %d trials", ran)
+	}
+	if results[0].Metrics == nil || results[63].Metrics != nil {
+		t.Fatal("partial results wrong")
+	}
+}
+
+// TestParallelHammer drives many concurrent trials through shared obs
+// instruments and a shared store under -race.
+func TestParallelHammer(t *testing.T) {
+	s := NewSpace(
+		Axis{Name: "a", Values: []float64{1, 2, 3, 4, 5, 6, 7, 8}},
+		Axis{Name: "b", Values: []float64{1, 2, 3, 4, 5, 6, 7, 8}},
+	)
+	st, err := OpenStore(filepath.Join(t.TempDir(), "hammer.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	reg := obs.NewRegistry()
+	ex := &Executor{Workers: 16, Store: st}
+	ex.RegisterObs(reg)
+	results, err := ex.Run(context.Background(), s, s.Grid(), 3, synthRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != "" || r.Trial != i {
+			t.Fatalf("trial %d: %+v", i, r)
+		}
+	}
+	if got := len(st.Completed()); got != s.Size() {
+		t.Fatalf("store holds %d trials", got)
+	}
+	if st.Pending() != 0 {
+		t.Fatalf("pending = %d after full run", st.Pending())
+	}
+}

@@ -1,0 +1,93 @@
+package dse
+
+import (
+	"reflect"
+	"testing"
+)
+
+func testSpace() *Space {
+	return NewSpace(
+		Axis{Name: "a", Values: []float64{1, 2, 3}},
+		Axis{Name: "b", Values: []float64{10, 20}},
+	)
+}
+
+func TestGridRowMajor(t *testing.T) {
+	s := testSpace()
+	if s.Size() != 6 {
+		t.Fatalf("Size = %d", s.Size())
+	}
+	pts := s.Grid()
+	want := [][2]float64{{1, 10}, {1, 20}, {2, 10}, {2, 20}, {3, 10}, {3, 20}}
+	for i, p := range pts {
+		if p.Index != i {
+			t.Fatalf("point %d has Index %d", i, p.Index)
+		}
+		if p.Params["a"] != want[i][0] || p.Params["b"] != want[i][1] {
+			t.Fatalf("point %d = %v, want %v", i, p.Params, want[i])
+		}
+	}
+}
+
+func TestLatinHypercubeBalancedAndDeterministic(t *testing.T) {
+	s := testSpace()
+	n := 7
+	pts := s.LatinHypercube(n, 42)
+	if len(pts) != n {
+		t.Fatalf("len = %d", len(pts))
+	}
+	// Every axis value is used ⌊n/k⌋ or ⌈n/k⌉ times.
+	for _, ax := range s.Axes {
+		counts := map[float64]int{}
+		for _, p := range pts {
+			counts[p.Params[ax.Name]]++
+		}
+		k := len(ax.Values)
+		for _, v := range ax.Values {
+			c := counts[v]
+			if c < n/k || c > (n+k-1)/k {
+				t.Fatalf("axis %s value %v used %d times (n=%d k=%d)", ax.Name, v, c, n, k)
+			}
+		}
+	}
+	if !reflect.DeepEqual(pts, s.LatinHypercube(n, 42)) {
+		t.Fatal("same seed produced a different sample")
+	}
+	if reflect.DeepEqual(pts, s.LatinHypercube(n, 43)) {
+		t.Fatal("different seeds produced the same sample")
+	}
+}
+
+func TestTrialSeedDistinctAndStable(t *testing.T) {
+	seen := map[uint64]int{}
+	for i := 0; i < 10000; i++ {
+		s := TrialSeed(1, i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("trials %d and %d share seed %#x", prev, i, s)
+		}
+		seen[s] = i
+	}
+	if TrialSeed(1, 5) != TrialSeed(1, 5) {
+		t.Fatal("TrialSeed not a pure function")
+	}
+	if TrialSeed(1, 5) == TrialSeed(2, 5) {
+		t.Fatal("sweep seed ignored")
+	}
+}
+
+func TestNewSpacePanicsOnBadAxes(t *testing.T) {
+	for name, axes := range map[string][]Axis{
+		"empty values": {{Name: "a"}},
+		"no name":      {{Values: []float64{1}}},
+		"duplicate":    {{Name: "a", Values: []float64{1}}, {Name: "a", Values: []float64{2}}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", name)
+				}
+			}()
+			NewSpace(axes...)
+		}()
+	}
+}

@@ -1,0 +1,217 @@
+package dse
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/trioml/triogo/internal/obs"
+)
+
+// TestResumeConvergesToUninterruptedStore is the checkpoint/resume contract:
+// a sweep killed after K of N trials, then restarted against the same file,
+// must produce a store byte-identical to an uninterrupted run's.
+func TestResumeConvergesToUninterruptedStore(t *testing.T) {
+	dir := t.TempDir()
+	space := NewSpace(
+		Axis{Name: "a", Values: []float64{1, 2, 3, 4, 5}},
+		Axis{Name: "b", Values: []float64{10, 20, 30, 40}},
+	)
+	const sweepSeed = 11
+
+	full := filepath.Join(dir, "full.jsonl")
+	{
+		st, err := OpenStore(full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex := &Executor{Workers: 4, Store: st}
+		if _, err := ex.Run(context.Background(), space, space.Grid(), sweepSeed, synthRunner); err != nil {
+			t.Fatal(err)
+		}
+		st.Close()
+	}
+
+	// Interrupted run: cancel once 7 results have landed; in-flight trials
+	// finish, later ones never start.
+	interrupted := filepath.Join(dir, "resumed.jsonl")
+	{
+		st, err := OpenStore(interrupted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		landed := 0
+		ex := &Executor{Workers: 4, Store: st, OnResult: func(Result) {
+			if landed++; landed == 7 {
+				cancel()
+			}
+		}}
+		if _, err := ex.Run(ctx, space, space.Grid(), sweepSeed, synthRunner); err != context.Canceled {
+			t.Fatalf("err = %v", err)
+		}
+		done := len(st.Completed())
+		if done == 0 || done >= space.Size() {
+			t.Fatalf("interrupted run persisted %d/%d trials", done, space.Size())
+		}
+		st.Close()
+	}
+
+	// Resume against the same file: completed trials must be skipped, the
+	// rest must run, and the bytes must converge to the uninterrupted run.
+	{
+		st, err := OpenStore(interrupted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		already := len(st.Completed())
+		reg := obs.NewRegistry()
+		ex := &Executor{Workers: 4, Store: st}
+		ex.RegisterObs(reg)
+		results, err := ex.Run(context.Background(), space, space.Grid(), sweepSeed, synthRunner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ex.insts.skipped.Value(); got != uint64(already) {
+			t.Fatalf("skipped = %d, want %d", got, already)
+		}
+		if got := ex.insts.started.Value(); got != uint64(space.Size()-already) {
+			t.Fatalf("started = %d, want %d", got, space.Size()-already)
+		}
+		if len(results) != space.Size() {
+			t.Fatalf("results = %d", len(results))
+		}
+		st.Close()
+	}
+
+	want, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(interrupted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(want) != string(got) {
+		t.Fatalf("resumed store diverges from uninterrupted store:\n--- uninterrupted ---\n%s\n--- resumed ---\n%s", want, got)
+	}
+}
+
+// TestResumeSkipsAllOnCompleteStore re-runs a finished sweep: every trial
+// must come from the store, and the file must not change.
+func TestResumeSkipsAllOnCompleteStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	before := runToStore(t, path, 2, synthRunner)
+
+	st, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	s := testSpace()
+	ex := &Executor{Workers: 2, Store: st}
+	ex.RegisterObs(obs.NewRegistry())
+	results, err := ex.Run(context.Background(), s, s.Grid(), 7, func(Trial) (map[string]float64, error) {
+		t.Fatal("runner called on a complete store")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ex.insts.skipped.Value(); got != uint64(s.Size()) {
+		t.Fatalf("skipped = %d", got)
+	}
+	for i, r := range results {
+		if r.Trial != i || r.Metrics == nil {
+			t.Fatalf("trial %d: %+v", i, r)
+		}
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("complete store rewritten on resume")
+	}
+}
+
+// TestPartialTailTruncated models a crash mid-append: the trailing partial
+// line is discarded on open and the resumed sweep still converges.
+func TestPartialTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.jsonl")
+	want := runToStore(t, filepath.Join(dir, "full.jsonl"), 1, synthRunner)
+
+	_ = runToStore(t, path, 1, synthRunner)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop the last record in half: keep everything before the final line
+	// plus a torn 10-byte fragment of it.
+	cut := bytes.LastIndexByte(data[:len(data)-1], '\n') + 1
+	torn := append(append([]byte(nil), data[:cut]...), data[cut:cut+10]...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(st.Completed()); got != testSpace().Size()-1 {
+		t.Fatalf("loaded %d trials from torn store", got)
+	}
+	s := testSpace()
+	ex := &Executor{Workers: 1, Store: st}
+	if _, err := ex.Run(context.Background(), s, s.Grid(), 7, synthRunner); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(want) != string(got) {
+		t.Fatal("torn store did not converge after resume")
+	}
+}
+
+func TestBeginRejectsForeignStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	_ = runToStore(t, path, 1, synthRunner) // seed 7, testSpace
+
+	for name, run := range map[string]func(*Executor) error{
+		"different seed": func(ex *Executor) error {
+			s := testSpace()
+			_, err := ex.Run(context.Background(), s, s.Grid(), 8, synthRunner)
+			return err
+		},
+		"different space": func(ex *Executor) error {
+			s := NewSpace(Axis{Name: "c", Values: []float64{1, 2}})
+			_, err := ex.Run(context.Background(), s, s.Grid(), 7, synthRunner)
+			return err
+		},
+	} {
+		st, err := OpenStore(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := run(&Executor{Store: st}); err == nil {
+			t.Fatalf("%s: foreign store accepted", name)
+		}
+		st.Close()
+	}
+}
+
+func TestOpenStoreRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	if err := os.WriteFile(path, []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(path); err == nil {
+		t.Fatal("garbage store accepted")
+	}
+}

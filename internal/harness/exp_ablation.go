@@ -22,11 +22,15 @@ func init() {
 }
 
 func runAblation(p Params) ([]*Table, error) {
-	tables := []*Table{
-		ablationRMWBanking(),
-		ablationTimerFanout(),
-		ablationREFScan(),
+	bank, err := ablationRMWBanking(p)
+	if err != nil {
+		return nil, err
 	}
+	fan, err := ablationTimerFanout(p)
+	if err != nil {
+		return nil, err
+	}
+	tables := []*Table{bank, fan, ablationREFScan()}
 	sw, err := ablationSwitchMLPacketSize(p)
 	if err != nil {
 		return nil, err
@@ -37,15 +41,16 @@ func runAblation(p Params) ([]*Table, error) {
 
 // ablationRMWBanking: a burst of vector adds offered at one instant drains
 // ~NumEngines times faster with banking (§2.3: "the read-modify-write
-// processing bandwidth scales with the raw memory bandwidth").
-func ablationRMWBanking() *Table {
+// processing bandwidth scales with the raw memory bandwidth"). Each engine
+// count is an isolated memory system, swept on the dse worker pool.
+func ablationRMWBanking(p Params) (*Table, error) {
 	t := &Table{
 		Title:   "Ablation: banked vs single read-modify-write engine",
 		Columns: []string{"Engines", "Burst drain (virtual us)", "Speedup"},
 		Notes:   []string{"512 sixteen-gradient vector adds offered at t=0; time until the last engine op completes."},
 	}
-	deltas := make([]int32, 16)
 	drain := func(engines int) sim.Time {
+		deltas := make([]int32, 16)
 		m := smem.New(smem.Config{NumRMWEngines: engines})
 		addr := m.Alloc(smem.TierSRAM, 1<<16)
 		var done sim.Time
@@ -56,22 +61,32 @@ func ablationRMWBanking() *Table {
 		}
 		return done
 	}
-	base := drain(1)
-	for _, n := range []int{1, 4, 12, 24} {
-		d := drain(n)
-		t.AddRow(n, d.Microseconds(), fmt.Sprintf("%.1fx", float64(base)/float64(d)))
+	engines := []float64{1, 4, 12, 24}
+	drains := make([]sim.Time, len(engines))
+	if _, err := sweep(p, "rmw_engines", engines, func(i int, v float64) (map[string]float64, error) {
+		drains[i] = drain(int(v))
+		return map[string]float64{"drain_us": float64(drains[i].Microseconds())}, nil
+	}); err != nil {
+		return nil, err
 	}
-	return t
+	base := drains[0] // engines[0] == 1: the unbanked baseline
+	for i, n := range engines {
+		t.AddRow(int(n), drains[i].Microseconds(), fmt.Sprintf("%.1fx", float64(base)/float64(drains[i])))
+	}
+	return t, nil
 }
 
 // ablationTimerFanout: §5's N staggered threads each sweep 1/N of the table.
-func ablationTimerFanout() *Table {
+func ablationTimerFanout(p Params) (*Table, error) {
 	t := &Table{
 		Title:   "Ablation: timer-thread fan-out for hash-table scanning (20k records)",
 		Columns: []string{"Threads", "Worst per-thread sweep (virtual us)"},
 		Notes:   []string{"Per-thread work shrinks by 1/N, so detection latency stays bounded however large the table grows (§5)."},
 	}
-	for _, n := range []int{1, 10, 100} {
+	threads := []float64{1, 10, 100}
+	worsts := make([]sim.Time, len(threads))
+	if _, err := sweep(p, "timer_threads", threads, func(i int, v float64) (map[string]float64, error) {
+		n := int(v)
 		tb := hasheng.NewTable(hasheng.Config{Buckets: 8192})
 		for k := uint64(0); k < 20000; k++ {
 			tb.Insert(0, k, k)
@@ -85,9 +100,15 @@ func ablationTimerFanout() *Table {
 				worst = done
 			}
 		}
-		t.AddRow(n, worst.Microseconds())
+		worsts[i] = worst
+		return map[string]float64{"worst_sweep_us": float64(worst.Microseconds())}, nil
+	}); err != nil {
+		return nil, err
 	}
-	return t
+	for i, n := range threads {
+		t.AddRow(int(n), worsts[i].Microseconds())
+	}
+	return t, nil
 }
 
 // ablationREFScan: the hardware REF flag lets a sweep decide "aged or not"
@@ -144,10 +165,12 @@ func ablationSwitchMLPacketSize(p Params) (*Table, error) {
 		Notes:   []string{"Smaller packets quadruple the packet count for the same gradients (§6.1)."},
 	}
 	scale, iters := trainScale(p)
-	for _, grads := range []int{switchml.Grads64, switchml.Grads256} {
+	gradPoints := []float64{float64(switchml.Grads64), float64(switchml.Grads256)}
+	avgMs := make([]float64, len(gradPoints))
+	if _, err := sweep(p, "switchml_grads", gradPoints, func(i int, v float64) (map[string]float64, error) {
 		c, err := mltrain.NewCluster(mltrain.ClusterConfig{
 			Model: mltrain.Models()[0], System: mltrain.SystemSwitchML,
-			GradsPerPacket: grads, Scale: scale, Seed: p.seed(),
+			GradsPerPacket: int(v), Scale: scale, Seed: p.seed(),
 		})
 		if err != nil {
 			return nil, err
@@ -156,7 +179,13 @@ func ablationSwitchMLPacketSize(p Params) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(fmt.Sprintf("SwitchML-%d", grads), mltrain.AvgIterTime(res, 1).Milliseconds())
+		avgMs[i] = mltrain.AvgIterTime(res, 1).Milliseconds()
+		return map[string]float64{"avg_iter_ms": avgMs[i]}, nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, v := range gradPoints {
+		t.AddRow(fmt.Sprintf("SwitchML-%d", int(v)), avgMs[i])
 	}
 	return t, nil
 }

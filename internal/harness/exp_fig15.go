@@ -32,7 +32,10 @@ func runFig15(p Params) ([]*Table, error) {
 			"the aggregation rate rises with packet size and plateaus between 512 and 1024 gradients per packet.",
 		},
 	}
-	for _, grads := range []int{64, 128, 256, 512, 1024} {
+	gradPoints := []float64{64, 128, 256, 512, 1024}
+	means := make([]float64, len(gradPoints))
+	_, err := sweep(p, "grads_per_pkt", gradPoints, func(i int, v float64) (map[string]float64, error) {
+		grads := int(v)
 		cfg := rigConfig{servers: 4, gradsPerPkt: grads, blocks: blocks, window: 1, trace: p.Trace, obsReg: p.Obs}
 		rig := newTrioRig(cfg)
 		rig.run()
@@ -43,10 +46,16 @@ func runFig15(p Params) ([]*Table, error) {
 			}
 			lat.Add(c.lat.Mean())
 		}
-		mean := lat.Mean()
-		t.AddRow(grads, mean, float64(grads)/mean)
-		p.logf("fig15: grads=%d latency=%.1fus", grads, mean)
+		means[i] = lat.Mean()
+		p.logf("fig15: grads=%d latency=%.1fus", grads, means[i])
 		p.logf("fig15: grads=%d sched: %v", grads, rig.metrics())
+		return map[string]float64{"latency_us": means[i]}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range gradPoints {
+		t.AddRow(int(v), means[i], v/means[i])
 	}
 	return []*Table{t}, nil
 }

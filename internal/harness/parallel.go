@@ -1,0 +1,47 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/trioml/triogo/internal/dse"
+)
+
+// workers resolves the worker-pool width for an experiment sweep:
+// Params.Parallel, clamped to 1 whenever a shared trace or metrics registry
+// is attached — rigs rebind func-backed series and append trace spans as
+// they build and run, so concurrent rigs would interleave into the shared
+// instruments.
+func (p Params) workers() int {
+	if p.Trace != nil || p.Obs != nil {
+		return 1
+	}
+	if p.Parallel < 1 {
+		return 1
+	}
+	return p.Parallel
+}
+
+// sweep runs fn over one axis's values on a dse.Executor with p.workers()
+// workers and returns the per-point results in point order. fn receives its
+// point index, so callers fill row slots by index and the rendered tables
+// are identical at every -parallel level; only the interleaving of progress
+// log lines changes. The first trial error (lowest index) aborts the
+// experiment, matching the serial loops this replaces.
+func sweep(p Params, axis string, values []float64, fn func(i int, v float64) (map[string]float64, error)) ([]dse.Result, error) {
+	space := dse.NewSpace(dse.Axis{Name: axis, Values: values})
+	ex := &dse.Executor{Workers: p.workers()}
+	ex.RegisterObs(p.Obs)
+	results, err := ex.Run(context.Background(), space, space.Grid(), p.seed(), func(t dse.Trial) (map[string]float64, error) {
+		return fn(t.Index, t.Params[axis])
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range results {
+		if r.Err != "" {
+			return nil, fmt.Errorf("%s", r.Err)
+		}
+	}
+	return results, nil
+}

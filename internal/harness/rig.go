@@ -29,6 +29,16 @@ type rigConfig struct {
 	silent       map[int]bool  // servers that never send (stragglers)
 	trace        *obs.Trace    // nil: tracing off (the default)
 	obsReg       *obs.Registry // nil: metrics off; sweeps rebind func series to the latest rig
+
+	// Design-space knobs (internal/dse sweeps); zero values keep the §6.3
+	// operating point of trioml.RecommendedPFEConfig.
+	numPPEs       int     // PPEs on the PFE
+	threadsPerPPE int     // threads per PPE
+	rmwEngines    int     // shared-memory RMW banks
+	sramLatencyNs int     // SRAM access latency, nanoseconds
+	dramLatencyNs int     // DRAM access latency, nanoseconds
+	linkLoss      float64 // per-frame loss probability on each uplink
+	lossSeed      uint64  // seeds the per-uplink drop streams
 }
 
 // streamClient is a minimal gradient-streaming server: it keeps `window`
@@ -58,6 +68,21 @@ func newTrioRig(cfg rigConfig) *trioRig {
 	}
 	eng := sim.NewEngine()
 	pcfg := trioml.RecommendedPFEConfig()
+	if cfg.numPPEs > 0 {
+		pcfg.NumPPEs = cfg.numPPEs
+	}
+	if cfg.threadsPerPPE > 0 {
+		pcfg.ThreadsPerPPE = cfg.threadsPerPPE
+	}
+	if cfg.rmwEngines > 0 {
+		pcfg.Mem.NumRMWEngines = cfg.rmwEngines
+	}
+	if cfg.sramLatencyNs > 0 {
+		pcfg.Mem.SRAMLatency = sim.Time(cfg.sramLatencyNs) * sim.Nanosecond
+	}
+	if cfg.dramLatencyNs > 0 {
+		pcfg.Mem.DRAMLatency = sim.Time(cfg.dramLatencyNs) * sim.Nanosecond
+	}
 	r := trio.New(eng, trio.Config{NumPFEs: 1, PFE: pcfg})
 	agg := trioml.New(r.PFE(0))
 	ports := make([]int, cfg.servers)
@@ -81,7 +106,15 @@ func newTrioRig(cfg rigConfig) *trioRig {
 	}
 	for i := 0; i < cfg.servers; i++ {
 		i := i
-		up := netsim.NewLink(eng, netsim.DefaultLinkConfig(), func(f []byte, _ sim.Time) {
+		upCfg := netsim.DefaultLinkConfig()
+		if cfg.linkLoss > 0 {
+			// Loss on the worker→router direction only: dropped
+			// contributions are repaired by §5 aging (degraded results),
+			// so lossy sweeps still complete every block.
+			upCfg.LossProb = cfg.linkLoss
+			upCfg.LossSeed = cfg.lossSeed + uint64(i)
+		}
+		up := netsim.NewLink(eng, upCfg, func(f []byte, _ sim.Time) {
 			r.Inject(0, i, uint64(i), f)
 		})
 		c := &streamClient{id: i, eng: eng, cfg: cfg, sentAt: make(map[uint32]sim.Time),

@@ -1,0 +1,92 @@
+// Command benchdse turns `go test -bench` output for the internal/dse
+// sweep benchmarks into BENCH_dse.json: the serial (Workers=1) measurement
+// next to the NumCPU-worker one, with the parallel speedup computed. Run it
+// via `make bench-dse`.
+//
+// On a single-CPU host the two configurations serialize the same work, so
+// the recorded speedup is ~1.0; the number is meaningful on multi-core
+// machines.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+type output struct {
+	Description string                        `json:"description"`
+	NumCPU      int                           `json:"num_cpu"`
+	Benchmarks  map[string]map[string]float64 `json:"benchmarks"`
+	Speedup     float64                       `json:"parallel_speedup"`
+}
+
+func parseBench(path string) (map[string]map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]map[string]float64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.SplitN(fields[0], "-", 2)[0] // strip -cpu suffix
+		m := make(map[string]float64)
+		// fields[1] is the iteration count; the rest are value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			m[fields[i+1]] = v
+		}
+		out[name] = m
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	in := flag.String("in", "", "path to `go test -bench BenchmarkSweep` output")
+	out := flag.String("out", "BENCH_dse.json", "output JSON path")
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "benchdse: -in is required")
+		os.Exit(2)
+	}
+	bench, err := parseBench(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdse: %v\n", err)
+		os.Exit(1)
+	}
+	serial, okS := bench["BenchmarkSweepWorkers1"]
+	par, okP := bench["BenchmarkSweepWorkersNumCPU"]
+	if !okS || !okP {
+		fmt.Fprintf(os.Stderr, "benchdse: missing sweep benchmarks in %s (got %d entries)\n", *in, len(bench))
+		os.Exit(1)
+	}
+	o := output{
+		Description: "internal/dse 32-trial sweep: one worker vs runtime.NumCPU() workers; speedup = serial ns/op over parallel ns/op (~1.0 on single-CPU hosts)",
+		NumCPU:      runtime.NumCPU(),
+		Benchmarks:  bench,
+		Speedup:     serial["ns/op"] / par["ns/op"],
+	}
+	data, err := json.MarshalIndent(o, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdse: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdse: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: speedup %.2fx on %d CPU(s)\n", *out, o.Speedup, o.NumCPU)
+}

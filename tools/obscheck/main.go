@@ -1,21 +1,29 @@
-// Command obscheck verifies that OBSERVABILITY.md documents every metric
-// the code can export. It instantiates each instrumented subsystem (sim
-// engine, PFE + shared memory, hostagg server on a loopback socket),
-// registers them all into one obs.Registry, and fails if any registered
-// metric name is missing from the document. Run by `make verify`.
+// Command obscheck verifies that OBSERVABILITY.md and the code agree in
+// both directions. It instantiates each instrumented subsystem (sim engine,
+// PFE + shared memory, hostagg server on a loopback socket, fault plan, dse
+// executor), registers them all into one obs.Registry, and fails if any
+// registered metric name is missing from the document — or if the document
+// names a `triogo_*` metric no subsystem registers (a stale doc entry).
+// Run by `make verify`.
 package main
 
 import (
 	"fmt"
 	"os"
+	"regexp"
+	"sort"
 	"strings"
 
+	"github.com/trioml/triogo/internal/dse"
 	"github.com/trioml/triogo/internal/faults"
 	"github.com/trioml/triogo/internal/hostagg"
 	"github.com/trioml/triogo/internal/obs"
 	"github.com/trioml/triogo/internal/sim"
 	"github.com/trioml/triogo/internal/trio/pfe"
 )
+
+// metricRef matches backtick-quoted metric names in the document.
+var metricRef = regexp.MustCompile("`(triogo_[a-z0-9_]+)`")
 
 func main() {
 	doc := "OBSERVABILITY.md"
@@ -47,19 +55,62 @@ func main() {
 
 	faults.NewPlan(1, faults.Config{}).RegisterObs(reg)
 
+	(&dse.Executor{}).RegisterObs(reg)
+
 	names := reg.Names()
+	registered := make(map[string]bool, len(names))
+	for _, n := range names {
+		registered[n] = true
+	}
+
 	var missing []string
 	for _, n := range names {
 		if !strings.Contains(string(text), "`"+n+"`") {
 			missing = append(missing, n)
 		}
 	}
+
+	// Reverse direction: every metric the document names must exist.
+	// Histogram series names (_bucket/_sum/_count) count as documented if
+	// their base histogram is registered.
+	stale := map[string]bool{}
+	for _, m := range metricRef.FindAllStringSubmatch(string(text), -1) {
+		name := m[1]
+		if registered[name] {
+			continue
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base = strings.TrimSuffix(base, suf)
+		}
+		if registered[base] {
+			continue
+		}
+		stale[name] = true
+	}
+
+	bad := false
 	if len(missing) > 0 {
+		bad = true
 		fmt.Fprintf(os.Stderr, "obscheck: %d metric(s) not documented in %s:\n", len(missing), doc)
 		for _, n := range missing {
 			fmt.Fprintf(os.Stderr, "  %s\n", n)
 		}
+	}
+	if len(stale) > 0 {
+		bad = true
+		staleNames := make([]string, 0, len(stale))
+		for n := range stale {
+			staleNames = append(staleNames, n)
+		}
+		sort.Strings(staleNames)
+		fmt.Fprintf(os.Stderr, "obscheck: %d metric(s) documented in %s but registered by no subsystem (stale docs?):\n", len(stale), doc)
+		for _, n := range staleNames {
+			fmt.Fprintf(os.Stderr, "  %s\n", n)
+		}
+	}
+	if bad {
 		os.Exit(1)
 	}
-	fmt.Printf("obscheck: all %d exported metrics documented in %s\n", len(names), doc)
+	fmt.Printf("obscheck: all %d exported metrics documented in %s, no stale entries\n", len(names), doc)
 }
