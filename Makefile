@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet verify verify-hostagg verify-vfp verify-obs verify-faults verify-dse chaos smoke-examples bench-hostagg bench-sim bench-dse
+.PHONY: build test vet verify verify-hostagg verify-vfp verify-obs verify-faults verify-dse verify-sim chaos smoke-examples bench-hostagg bench-sim bench-dse
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,7 @@ vet:
 # race suites of the concurrency-critical layers (hostagg's sharded hot
 # path, vfp's host datapath, obs's atomic instruments, dse's worker pool),
 # the metric documentation check, and an every-example smoke run.
-verify: build test vet verify-hostagg verify-vfp verify-obs verify-faults verify-dse smoke-examples
+verify: build test vet verify-hostagg verify-vfp verify-obs verify-faults verify-dse verify-sim smoke-examples
 
 verify-hostagg:
 	$(GO) test -race ./internal/hostagg/...
@@ -33,6 +33,13 @@ chaos:
 
 verify-vfp:
 	$(GO) test -race ./internal/vfp/...
+
+# verify-sim races the partitioned simulation core (cluster barrier hammer
+# included) and the cross-partition determinism tests: fig15 at P in {1,2,4}
+# must render byte-identically.
+verify-sim:
+	$(GO) test -race -run 'TestCluster' ./internal/sim/
+	$(GO) test -race -run 'TestCrossPartitionDeterminism|TestLinkBetween' ./internal/harness/ ./internal/netsim/
 
 # verify-dse races the sweep executor/store and the parallel-vs-serial
 # determinism tests in the harness.

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	triobench [-exp all|table1,fig12,...] [-full] [-seed N] [-parallel N]
-//	          [-quiet] [-list] [-trace out.json] [-metrics out.prom]
+//	          [-partitions P] [-quiet] [-list] [-trace out.json]
+//	          [-metrics out.prom]
 //
 // Quick mode (default) shrinks sweep sizes so the whole suite runs in about
 // a minute; -full uses paper-scale parameters (several minutes).
@@ -15,7 +16,10 @@
 // it exits non-zero if recovery exceeds the §5 bound or any sum diverges.
 // -exp dse runs the design-space exploration sweep (internal/dse); -parallel
 // spreads its trials — and every other migrated sweep — over a worker pool
-// without changing a single output byte.
+// without changing a single output byte. -partitions P splits each rig's
+// event queue across P conservatively synchronized sim partitions (router on
+// partition 0, servers round-robin over the rest) — again without changing a
+// single output byte; see DESIGN.md's partitioned-simulation section.
 //
 // -trace records dispatch, PPE, RMW/hash, and egress spans from the
 // simulated PFE into a chrome://tracing / Perfetto JSON file; -metrics
@@ -46,6 +50,7 @@ type benchOpts struct {
 	full        bool
 	seed        uint64
 	parallel    int
+	partitions  int
 	quiet       bool
 	tracePath   string
 	metricsPath string
@@ -61,6 +66,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		full     = fs.Bool("full", false, "paper-scale sweeps instead of quick mode")
 		seed     = fs.Uint64("seed", 1, "experiment seed")
 		parallel = fs.Int("parallel", 1, "sweep worker-pool size (outputs are identical at any value)")
+		parts    = fs.Int("partitions", 1, "sim partitions per rig (outputs are identical at any value)")
 		quiet    = fs.Bool("quiet", false, "suppress progress logging")
 		list     = fs.Bool("list", false, "list experiments and exit")
 		trace    = fs.String("trace", "", "write a chrome://tracing JSON file of PFE activity (per experiment)")
@@ -90,7 +96,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 
 	return runExperiments(benchOpts{
 		names: names, full: *full, seed: *seed, parallel: *parallel,
-		quiet: *quiet, tracePath: *trace, metricsPath: *metrics,
+		partitions: *parts, quiet: *quiet, tracePath: *trace, metricsPath: *metrics,
 		stdout: stdout, stderr: stderr,
 	})
 }
@@ -122,7 +128,8 @@ func runExperiments(o benchOpts) int {
 			exitCode = 2
 			continue
 		}
-		params := harness.Params{Quick: !o.full, Seed: o.seed, Parallel: o.parallel, Log: logw}
+		params := harness.Params{Quick: !o.full, Seed: o.seed, Parallel: o.parallel,
+			Partitions: o.partitions, Log: logw}
 		var reg *obs.Registry
 		if o.metricsPath != "" {
 			reg = obs.NewRegistry()

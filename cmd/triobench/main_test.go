@@ -92,3 +92,54 @@ func TestDumpPath(t *testing.T) {
 		}
 	}
 }
+
+// TestParallelClampWarning regresses the silent -parallel clamp: with
+// -metrics attached, sweeps serialize — and must now say so on stderr and
+// export the discarded worker count as triogo_dse_workers_clamped.
+func TestParallelClampWarning(t *testing.T) {
+	dir := t.TempDir()
+	prom := filepath.Join(dir, "out.prom")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-exp", "fig15", "-seed", "1", "-parallel", "8",
+		"-metrics", prom}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "clamped to 1") {
+		t.Errorf("no clamp warning on stderr:\n%s", stderr.String())
+	}
+	data, err := os.ReadFile(prom)
+	if err != nil {
+		t.Fatalf("metrics dump: %v", err)
+	}
+	if !strings.Contains(string(data), "triogo_dse_workers_clamped 7") {
+		t.Errorf("clamp gauge missing or wrong in dump:\n%s", data)
+	}
+
+	// Without an attached registry/trace there is nothing to clamp: no
+	// warning, even at high -parallel.
+	stderr.Reset()
+	if code := run([]string{"-exp", "fig15", "-seed", "1", "-parallel", "8"},
+		&stdout, &stderr); code != 0 {
+		t.Fatalf("unclamped run exit %d", code)
+	}
+	if strings.Contains(stderr.String(), "clamped") {
+		t.Errorf("spurious clamp warning:\n%s", stderr.String())
+	}
+}
+
+// TestPartitionsFlagMatchesSerial: -partitions must not change a single
+// output byte (the cross-partition determinism contract, end to end through
+// the CLI).
+func TestPartitionsFlagMatchesSerial(t *testing.T) {
+	var one, four, stderr bytes.Buffer
+	if code := run([]string{"-exp", "fig15", "-seed", "1", "-quiet"}, &one, &stderr); code != 0 {
+		t.Fatalf("P=1 exit %d: %s", code, stderr.String())
+	}
+	if code := run([]string{"-exp", "fig15", "-seed", "1", "-quiet", "-partitions", "4"}, &four, &stderr); code != 0 {
+		t.Fatalf("P=4 exit %d: %s", code, stderr.String())
+	}
+	if !bytes.Equal(one.Bytes(), four.Bytes()) {
+		t.Fatalf("-partitions changed the output\n--- P=1 ---\n%s\n--- P=4 ---\n%s", one.Bytes(), four.Bytes())
+	}
+}

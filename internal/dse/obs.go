@@ -39,6 +39,13 @@ func (e *Executor) RegisterObs(reg *obs.Registry) {
 		Name: "triogo_dse_workers_busy", Unit: "workers",
 		Help: "Workers currently executing a trial",
 	})
+	// Pre-registered at 0 so every sweep dump carries the clamp gauge; the
+	// harness sets it when -trace/-metrics forces a serial sweep (its Gauge
+	// call rebinds to this same instrument).
+	reg.Gauge(obs.Desc{
+		Name: "triogo_dse_workers_clamped", Unit: "workers",
+		Help: "Requested sweep workers discarded by the -trace/-metrics serialization clamp.",
+	})
 	// 0.5 ms .. ~16 s: quick-mode trials land in the low milliseconds,
 	// paper-scale chaos/training trials in whole seconds.
 	e.insts.wall = reg.Histogram(obs.Desc{

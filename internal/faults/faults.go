@@ -15,7 +15,11 @@
 //     from the Plan seed plus a fixed per-component stream id. Two runs with
 //     the same seed and config observe the same fault schedule; components
 //     draw from disjoint streams so adding a fault type to one layer does
-//     not shift another layer's schedule.
+//     not shift another layer's schedule. Because each injector owns its
+//     stream outright (keyed by component id, never by engine or goroutine),
+//     schedules are also partition-pure: moving a link or PFE onto another
+//     sim.Cluster partition relocates its stream untouched, which is what
+//     keeps partitioned runs bit-identical to P=1 at the same seed.
 //   - Zero allocs on the decision path: injectors draw and count, nothing
 //     more. The only allocation faults ever introduce is the defensive copy
 //     a corrupted frame needs (the original bytes may be aliased elsewhere).

@@ -214,3 +214,52 @@ func BenchmarkLinkDecide(b *testing.B) {
 		_ = f.Decide(sim.Time(i), 12000)
 	}
 }
+
+// TestLinkStreamsPartitionPure pins the property the partitioned simulator
+// (sim.Cluster) leans on: a link injector's verdict schedule is a pure
+// function of (plan seed, link id). Neither the order injectors are created
+// in, nor sibling draws, nor which cluster partition's engine the consumer
+// lives on can shift it — so P>1 runs replay exactly the P=1 fault schedule.
+func TestLinkStreamsPartitionPure(t *testing.T) {
+	cfg := Config{Link: LinkConfig{CorruptProb: 0.3, DupProb: 0.2, ReorderProb: 0.1}}
+	schedule := func(f *LinkInjector) []LinkVerdict {
+		out := make([]LinkVerdict, 64)
+		for i := range out {
+			out[i] = f.Decide(sim.Time(i)*sim.Microsecond, 1500*8)
+		}
+		return out
+	}
+
+	// Reference: plan with links created in id order, drained one by one.
+	ref := make(map[uint64][]LinkVerdict)
+	pa := NewPlan(11, cfg)
+	for id := uint64(0); id < 4; id++ {
+		ref[id] = schedule(pa.Link(id))
+	}
+
+	// Same seed, links created in reverse and drawn interleaved — as when a
+	// partitioned rig constructs per-partition topology slices. The cluster
+	// itself is irrelevant to the draw (injectors never see an engine), which
+	// is the point: placement cannot perturb the schedule.
+	c := sim.NewCluster(2)
+	_ = c.Engine(0)
+	pb := NewPlan(11, cfg)
+	injs := make(map[uint64]*LinkInjector)
+	for id := int64(3); id >= 0; id-- {
+		injs[uint64(id)] = pb.Link(uint64(id))
+	}
+	got := make(map[uint64][]LinkVerdict)
+	for i := 0; i < 64; i++ {
+		for id := uint64(0); id < 4; id++ {
+			got[id] = append(got[id], injs[id].Decide(sim.Time(i)*sim.Microsecond, 1500*8))
+		}
+	}
+
+	for id := uint64(0); id < 4; id++ {
+		for i := range ref[id] {
+			if got[id][i] != ref[id][i] {
+				t.Fatalf("link %d verdict %d: %+v, want %+v", id, i, got[id][i], ref[id][i])
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"runtime"
 	"testing"
 
 	"github.com/trioml/triogo/internal/sim"
@@ -30,6 +31,42 @@ func BenchmarkFig15SimThroughput(b *testing.B) {
 		events += rig.eng.Executed()
 	}
 	b.StopTimer()
+	secs := b.Elapsed().Seconds()
+	if secs > 0 {
+		b.ReportMetric(float64(b.N*servers*blocks)/secs, "simpkts/s")
+		b.ReportMetric(float64(events)/secs, "events/s")
+	}
+}
+
+// BenchmarkFig15SimThroughputPartitioned is the same rig split over
+// NumCPU sim partitions (router on partition 0, servers round-robin on the
+// rest). On a single-CPU host the windowed barrier only adds synchronization
+// overhead — the P=1/P=N throughput ratio in BENCH_sim.json records exactly
+// that, as the honest baseline for multi-core hosts.
+func BenchmarkFig15SimThroughputPartitioned(b *testing.B) {
+	const servers, blocks = 4, 400
+	parts := runtime.NumCPU()
+	if parts < 2 {
+		parts = 2 // exercise the barrier even on one CPU
+	}
+	var events uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := rigConfig{servers: servers, gradsPerPkt: 256, blocks: blocks, window: 1, partitions: parts}
+		rig := newTrioRig(cfg)
+		rig.run()
+		for _, c := range rig.clients {
+			if c.done != blocks {
+				b.Fatalf("client %d finished %d/%d", c.id, c.done, blocks)
+			}
+		}
+		for p := 0; p < parts; p++ {
+			events += rig.cluster.Engine(p).Executed()
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(parts), "partitions")
 	secs := b.Elapsed().Seconds()
 	if secs > 0 {
 		b.ReportMetric(float64(b.N*servers*blocks)/secs, "simpkts/s")

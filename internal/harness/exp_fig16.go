@@ -41,7 +41,8 @@ func runFig16(p Params) ([]*Table, error) {
 			if blocks < 2*w {
 				blocks = 2 * w
 			}
-			cfg := rigConfig{servers: 4, gradsPerPkt: grads, blocks: blocks, window: w, trace: p.Trace, obsReg: p.Obs}
+			cfg := rigConfig{servers: 4, gradsPerPkt: grads, blocks: blocks, window: w,
+				partitions: p.Partitions, trace: p.Trace, obsReg: p.Obs}
 			rig := newTrioRig(cfg)
 			rig.run()
 			var lat sim.Sample

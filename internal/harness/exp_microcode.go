@@ -23,7 +23,8 @@ func runMicrocode(p Params) ([]*Table, error) {
 	if p.Quick {
 		blocks = 100
 	}
-	cfg := rigConfig{servers: 4, gradsPerPkt: 1024, blocks: blocks, window: 64, trace: p.Trace, obsReg: p.Obs}
+	cfg := rigConfig{servers: 4, gradsPerPkt: 1024, blocks: blocks, window: 64,
+		partitions: p.Partitions, trace: p.Trace, obsReg: p.Obs}
 	rig := newTrioRig(cfg)
 	rig.run()
 

@@ -5,15 +5,26 @@ import (
 	"fmt"
 
 	"github.com/trioml/triogo/internal/dse"
+	"github.com/trioml/triogo/internal/obs"
 )
 
 // workers resolves the worker-pool width for an experiment sweep:
 // Params.Parallel, clamped to 1 whenever a shared trace or metrics registry
 // is attached — rigs rebind func-backed series and append trace spans as
 // they build and run, so concurrent rigs would interleave into the shared
-// instruments.
+// instruments. The clamp is announced (stderr line + triogo_dse_workers_clamped
+// gauge) so `-parallel 8 -metrics out.prom` doesn't silently run serially.
 func (p Params) workers() int {
 	if p.Trace != nil || p.Obs != nil {
+		if p.Parallel > 1 {
+			p.logf("warning: -parallel %d clamped to 1: -trace/-metrics attach shared instruments that concurrent rigs would corrupt", p.Parallel)
+			if p.Obs != nil {
+				p.Obs.Gauge(obs.Desc{
+					Name: "triogo_dse_workers_clamped", Unit: "workers",
+					Help: "Requested sweep workers discarded by the -trace/-metrics serialization clamp.",
+				}).Set(float64(p.Parallel - 1))
+			}
+		}
 		return 1
 	}
 	if p.Parallel < 1 {

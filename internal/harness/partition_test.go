@@ -1,0 +1,44 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestCrossPartitionDeterminism is the tentpole's contract: the fig15 rig
+// renders byte-identical tables at any partition count for the same seed.
+// Partitioning moves the servers onto their own conservatively-synchronized
+// engines (router on partition 0), so this proves the windowed barrier plus
+// the (SendTime, Chan, Seq) inbox merge reproduce the single-engine schedule
+// exactly — the property that makes -partitions safe to use anywhere.
+func TestCrossPartitionDeterminism(t *testing.T) {
+	for _, seed := range []uint64{1, 2} {
+		base := renderAll(t, Params{Quick: true, Seed: seed, Partitions: 1}, "fig15")
+		if len(base) == 0 {
+			t.Fatalf("seed %d: P=1 run rendered nothing", seed)
+		}
+		for _, parts := range []int{2, 4} {
+			got := renderAll(t, Params{Quick: true, Seed: seed, Partitions: parts}, "fig15")
+			if !bytes.Equal(base, got) {
+				t.Fatalf("seed %d: P=%d output differs from P=1\n--- P=1 ---\n%s\n--- P=%d ---\n%s",
+					seed, parts, base, parts, got)
+			}
+		}
+	}
+}
+
+// TestCrossPartitionDeterminismWithStragglers covers the harder schedule:
+// fig14's silent straggler forces the §5 timer threads (all on the router
+// partition) to fire expiry scans that race — in virtual time — against
+// cross-partition result delivery. One partition count suffices here; the
+// sweep over P is fig15's job above.
+func TestCrossPartitionDeterminismWithStragglers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig14 rigs are slow in -short mode")
+	}
+	base := renderAll(t, Params{Quick: true, Seed: 1, Partitions: 1}, "fig14")
+	got := renderAll(t, Params{Quick: true, Seed: 1, Partitions: 3}, "fig14")
+	if !bytes.Equal(base, got) {
+		t.Fatalf("fig14 P=3 output differs from P=1\n--- P=1 ---\n%s\n--- P=3 ---\n%s", base, got)
+	}
+}

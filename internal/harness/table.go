@@ -83,12 +83,13 @@ func pad(s string, w int) string {
 // Params tunes experiment cost. Quick mode shrinks sweep sizes so the whole
 // suite runs in tens of seconds; Full mode uses the paper-scale parameters.
 type Params struct {
-	Quick    bool
-	Seed     uint64
-	Parallel int           // sweep worker-pool size; <2 runs points serially
-	Log      io.Writer     // progress messages; nil discards
-	Trace    *obs.Trace    // when non-nil, experiments record chrome-trace spans into it
-	Obs      *obs.Registry // when non-nil, rigs register their engine/PFE/smem metrics
+	Quick      bool
+	Seed       uint64
+	Parallel   int           // sweep worker-pool size; <2 runs points serially
+	Partitions int           // sim partitions per rig; <2 runs single-engine
+	Log        io.Writer     // progress messages; nil discards
+	Trace      *obs.Trace    // when non-nil, experiments record chrome-trace spans into it
+	Obs        *obs.Registry // when non-nil, rigs register their engine/PFE/smem metrics
 }
 
 func (p Params) logf(format string, args ...interface{}) {

@@ -41,8 +41,22 @@ type Link struct {
 	eng    *sim.Engine
 	dst    Receiver
 	freeAt sim.Time
-	loss   *sim.RNG
-	free   *delivery // recycled arrival events
+	// freeRem is the sub-nanosecond tail of the serialization end time, as a
+	// numerator over cfg.Bandwidth: the link is exactly free at
+	// freeAt + freeRem/Bandwidth. Carrying it keeps back-to-back bursts
+	// accounting exact aggregate bandwidth instead of truncating up to a
+	// nanosecond per frame (at 100 Gbps a 187-byte frame loses ~0.96 ns).
+	freeRem uint64
+	loss    *sim.RNG
+	free    *delivery // recycled arrival events
+
+	// Cross-partition delivery (nil cluster for same-partition links): the
+	// arrival becomes a timestamped message into the destination
+	// partition's inbox instead of a local event. See NewLinkBetween.
+	cluster *sim.Cluster
+	dstPID  int
+	chanKey uint64
+	sendSeq uint64
 
 	Frames  uint64
 	Bytes   uint64
@@ -87,18 +101,50 @@ func NewLink(eng *sim.Engine, cfg LinkConfig, dst Receiver) *Link {
 	return l
 }
 
+// NewLinkBetween builds a link whose sender lives on src and whose receiver
+// runs on dst — the partition-crossing form for partitioned clusters (see
+// sim.Cluster). Serialization state (the shared cable) is owned by the
+// sending partition; the arrival is posted as a timestamped message into the
+// receiving partition's inbox, and the link's propagation delay is registered
+// as a cross-partition lookahead bound. With src == dst (or a nil dst) this
+// is exactly NewLink.
+func NewLinkBetween(src, dst *sim.Engine, cfg LinkConfig, recv Receiver) *Link {
+	l := NewLink(src, cfg, recv)
+	if dst == nil || dst == src {
+		return l
+	}
+	cl := src.Cluster()
+	if cl == nil || cl != dst.Cluster() {
+		panic("netsim: NewLinkBetween requires engines of the same sim.Cluster")
+	}
+	if src.Partition() == dst.Partition() {
+		return l
+	}
+	// The propagation delay is the conservative lookahead this channel
+	// promises; RegisterCrossDelay rejects zero, which would collapse the
+	// safe window (use DefaultLinkConfig's 500 ns cable).
+	cl.RegisterCrossDelay(l.cfg.Propagation)
+	l.cluster = cl
+	l.dstPID = dst.Partition()
+	l.chanKey = cl.NewChannelKey()
+	return l
+}
+
 // SetReceiver replaces the link's receiver (used when wiring loops).
 func (l *Link) SetReceiver(dst Receiver) { l.dst = dst }
 
 // Send enqueues a frame for transmission now; the receiver sees it after
 // queueing, serialization, and propagation.
 func (l *Link) Send(frame []byte) {
-	start := l.eng.Now()
-	if l.freeAt > start {
-		start = l.freeAt
+	now := l.eng.Now()
+	base, rem := l.freeAt, l.freeRem
+	if now > base || (now == base && rem == 0) {
+		// Link idle: the burst (and its fractional credit) starts fresh.
+		base, rem = now, 0
 	}
-	depart := start + sim.Time(uint64(len(frame))*8*uint64(sim.Second)/l.cfg.Bandwidth)
-	l.freeAt = depart
+	num := rem + uint64(len(frame))*8*uint64(sim.Second)
+	depart := base + sim.Time(num/l.cfg.Bandwidth)
+	l.freeAt, l.freeRem = depart, num%l.cfg.Bandwidth
 	arrive := depart + l.cfg.Propagation
 	l.Frames++
 	l.Bytes += uint64(len(frame))
@@ -107,7 +153,7 @@ func (l *Link) Send(frame []byte) {
 		return
 	}
 	if l.cfg.Faults != nil {
-		v := l.cfg.Faults.Decide(start, len(frame)*8)
+		v := l.cfg.Faults.Decide(base, len(frame)*8)
 		if v.Drop {
 			l.FlapDropped++
 			return
@@ -120,20 +166,47 @@ func (l *Link) Send(frame []byte) {
 			corrupted[v.CorruptBit/8] ^= 1 << (v.CorruptBit % 8)
 			frame = corrupted
 		}
+		if v.Duplicate {
+			// The duplicate is offset from the fault-free arrival: a frame
+			// that is also reordered must not compound both delays.
+			l.Duplicated++
+			l.deliver(frame, arrive+v.DupDelay)
+		}
 		if v.ExtraDelay > 0 {
 			l.Reordered++
 			arrive += v.ExtraDelay
-		}
-		if v.Duplicate {
-			l.Duplicated++
-			l.deliver(frame, arrive+v.DupDelay)
 		}
 	}
 	l.deliver(frame, arrive)
 }
 
-// deliver schedules one arrival, recycling delivery records.
+// crossDelivery carries one frame into another partition. Unlike the local
+// delivery pool, records cross goroutines exactly once and are not recycled.
+type crossDelivery struct {
+	l     *Link
+	frame []byte
+	at    sim.Time
+}
+
+func crossArriveEvent(arg any) {
+	d := arg.(*crossDelivery)
+	d.l.dst(d.frame, d.at)
+}
+
+// deliver schedules one arrival: a recycled local event on the link's own
+// engine, or a timestamped inbox message for a partition-crossing link.
 func (l *Link) deliver(frame []byte, arrive sim.Time) {
+	if l.cluster != nil {
+		// The sender may reuse its frame buffer as soon as Send returns
+		// (clients marshal in place), so the crossing copy detaches it.
+		l.sendSeq++
+		l.cluster.Post(l.dstPID, sim.Message{
+			At: arrive, SendTime: l.eng.Now(), Chan: l.chanKey, Seq: l.sendSeq,
+			Fn: crossArriveEvent,
+			Arg: &crossDelivery{l: l, frame: append([]byte(nil), frame...), at: arrive},
+		})
+		return
+	}
 	d := l.free
 	if d == nil {
 		d = &delivery{}
@@ -145,8 +218,21 @@ func (l *Link) deliver(frame []byte, arrive sim.Time) {
 	l.eng.AtFunc(arrive, arriveEvent, d)
 }
 
-// Busy reports whether the link is still serializing previously sent frames.
-func (l *Link) Busy() bool { return l.freeAt > l.eng.Now() }
+// Busy reports whether the link is still serializing previously sent frames,
+// including the sub-nanosecond tail of the last one.
+func (l *Link) Busy() bool {
+	now := l.eng.Now()
+	return l.freeAt > now || (l.freeAt == now && l.freeRem > 0)
+}
+
+// FreeAt reports the first nanosecond at which the link is idle: the exact
+// serialization end, rounded up when it falls between nanoseconds.
+func (l *Link) FreeAt() sim.Time {
+	if l.freeRem > 0 {
+		return l.freeAt + 1
+	}
+	return l.freeAt
+}
 
 // Duplex is a bidirectional cable: A-to-B and B-to-A links with shared
 // configuration, mirroring one physical cable of Fig. 11.

@@ -127,6 +127,12 @@ type Engine struct {
 	// path stays allocation-free with instrumentation on — and a single
 	// nil check with it off.
 	leadHist *obs.Histogram
+
+	// cluster/pid place the engine inside a partitioned Cluster (see
+	// partition.go); both stay zero for a standalone engine, and nothing
+	// in the scheduling hot path reads them.
+	cluster *Cluster
+	pid     int
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
@@ -140,6 +146,14 @@ func NewEngine() *Engine {
 
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+// Cluster returns the partitioned cluster this engine belongs to, or nil for
+// a standalone engine.
+func (e *Engine) Cluster() *Cluster { return e.cluster }
+
+// Partition reports the engine's partition index within its cluster (0 for a
+// standalone engine).
+func (e *Engine) Partition() int { return e.pid }
 
 // Pending reports the number of scheduled live events not yet executed.
 // Cancelled events are excluded even before their slots are reclaimed.

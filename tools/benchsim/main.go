@@ -47,6 +47,12 @@ type output struct {
 	Fig15ImprovementPct   float64 `json:"fig15_ns_per_op_improvement_pct"`
 	Fig15ThroughputRatio  float64 `json:"fig15_simpkts_per_s_ratio"`
 	EngineArgPathAllocsOp float64 `json:"engine_arg_path_allocs_per_op"`
+
+	// P=NumCPU vs P=1 fig15 throughput (sim.Cluster conservative-lookahead
+	// partitioning): >1 means partitioning pays on this host.
+	PartitionCount          float64 `json:"fig15_partition_count,omitempty"`
+	PartitionSpeedupRatio   float64 `json:"fig15_partitioned_simpkts_ratio,omitempty"`
+	PartitionComparisonNote string  `json:"fig15_partition_note,omitempty"`
 }
 
 func parseBench(path string) (map[string]map[string]float64, error) {
@@ -102,6 +108,13 @@ func main() {
 	}
 	if c := cur["BenchmarkEngineScheduleFireArg"]; c != nil {
 		o.EngineArgPathAllocsOp = c["allocs/op"]
+	}
+	if serial, part := cur["BenchmarkFig15SimThroughput"], cur["BenchmarkFig15SimThroughputPartitioned"]; serial != nil && part != nil {
+		o.PartitionCount = part["partitions"]
+		if sp := serial["simpkts/s"]; sp > 0 {
+			o.PartitionSpeedupRatio = part["simpkts/s"] / sp
+		}
+		o.PartitionComparisonNote = "identical outputs by the determinism contract; on a single-CPU host the ratio only measures barrier overhead (expect <= 1.0 — partitions pay off with real cores)"
 	}
 	buf, err := json.MarshalIndent(o, "", "  ")
 	if err != nil {

@@ -41,6 +41,8 @@ func main() {
 	eng := sim.NewEngine()
 	eng.RegisterObs(reg)
 
+	sim.NewCluster(2).RegisterObs(reg)
+
 	p := pfe.New(eng, pfe.Config{})
 	p.RegisterObs(reg)
 	p.Mem.RegisterObs(reg)
