@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet verify verify-hostagg verify-vfp verify-obs verify-faults verify-dse verify-sim chaos smoke-examples bench-hostagg bench-sim bench-dse
+.PHONY: build test vet verify verify-hostagg verify-vfp verify-obs verify-faults verify-dse verify-sim verify-microcode chaos smoke-examples bench-hostagg bench-sim bench-dse bench-microcode
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,7 @@ vet:
 # race suites of the concurrency-critical layers (hostagg's sharded hot
 # path, vfp's host datapath, obs's atomic instruments, dse's worker pool),
 # the metric documentation check, and an every-example smoke run.
-verify: build test vet verify-hostagg verify-vfp verify-obs verify-faults verify-dse verify-sim smoke-examples
+verify: build test vet verify-hostagg verify-vfp verify-obs verify-faults verify-dse verify-sim verify-microcode smoke-examples
 
 verify-hostagg:
 	$(GO) test -race ./internal/hostagg/...
@@ -65,6 +65,13 @@ verify-obs:
 	$(GO) test -race ./internal/obs/...
 	$(GO) run ./tools/obscheck
 
+# verify-microcode races the v2 compile/verify/dispatch pipeline and replays
+# the FuzzAssemble seed+regression corpus (parse -> compile -> twin-engine
+# dispatch must never panic and must stay bit-identical).
+verify-microcode:
+	$(GO) test -race ./internal/microcode/
+	$(GO) test -run FuzzAssemble ./internal/microcode/
+
 bench-hostagg:
 	$(GO) test -run xxx -bench 'Shard|AllReduceUDP' ./internal/hostagg/
 
@@ -76,6 +83,15 @@ bench-sim:
 	$(GO) run ./tools/benchsim -in .bench_sim_raw.txt -out BENCH_sim.json
 	@rm -f .bench_sim_raw.txt
 	@cat BENCH_sim.json
+
+# bench-microcode measures interpreter vs compiled dispatch on the mcagg
+# 1024-gradient workload and writes BENCH_microcode.json with the speedup
+# ratio (acceptance bar: >= 2.0).
+bench-microcode:
+	$(GO) test -run xxx -bench BenchmarkMicrocodeDispatch -benchtime 2s . > .bench_micro_raw.txt
+	$(GO) run ./tools/benchmicro -in .bench_micro_raw.txt -out BENCH_microcode.json
+	@rm -f .bench_micro_raw.txt
+	@cat BENCH_microcode.json
 
 # bench-dse measures the same 32-trial sweep with one worker and with
 # NumCPU workers and writes BENCH_dse.json with the speedup (~1.0 on

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runMcasm(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestDumpCompiledGolden(t *testing.T) {
+	out, errOut, code := runMcasm(t, "-dump-compiled", filepath.Join("testdata", "filter.mc"))
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "filter.dump.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(golden) {
+		t.Fatalf("-dump-compiled output diverges from golden:\n--- got ---\n%s--- want ---\n%s", out, golden)
+	}
+}
+
+func TestVerifyOnly(t *testing.T) {
+	out, errOut, code := runMcasm(t, "-verify-only", filepath.Join("testdata", "filter.mc"))
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "verify: ok") {
+		t.Fatalf("output: %s", out)
+	}
+}
+
+func TestVerifyOnlyRejectsBadProgram(t *testing.T) {
+	dir := t.TempDir()
+	// Recursive call chain: assembles fine, but the static verifier must
+	// reject it before execution.
+	src := "program rec;\n\nloop:\nbegin\n    r0 = r0 + 1;\n    call loop;\nend\n\ndone:\nbegin\n    exit(drop);\nend\n"
+	path := filepath.Join(dir, "rec.mc")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, errOut, code := runMcasm(t, "-verify-only", path)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "verify") {
+		t.Fatalf("stderr: %s", errOut)
+	}
+}
+
+func TestRunFilterForward(t *testing.T) {
+	out, errOut, code := runMcasm(t, filepath.Join("testdata", "filter.mc"))
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"verdict: forward", "instructions executed: 3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -74,17 +74,26 @@ end
 func main() {
 	// 1. Assemble the Microcode program (the Trio Compiler step of Fig. 4).
 	prog := microcode.MustAssemble(filterSource)
-	fmt.Printf("assembled %q: %d instructions\n\n", prog.Name, prog.Len())
+	fmt.Printf("assembled %q: %d instructions\n", prog.Name, prog.Len())
 
-	// 2. Build a router with one PFE and install the program.
+	// 2. Build a router with one PFE and install the program. Compiling
+	// eagerly runs the static verifier and superinstruction fusion (the v2
+	// pipeline) before any packet arrives.
 	eng := sim.NewEngine()
 	router := trio.New(eng, trio.Config{NumPFEs: 1})
-	router.PFE(0).SetApp(&pfe.MicrocodeApp{
+	app := &pfe.MicrocodeApp{
 		Program: prog, EgressPort: 1,
 		Setup: func(th *microcode.Thread, ctx *pfe.Ctx) {
 			th.Regs[1] = uint64(ctx.FrameLen()) // dispatch hands pkt_len to r1
 		},
-	})
+	}
+	if err := app.Compile(); err != nil {
+		panic(err)
+	}
+	cost := app.Compiled().Cost()
+	fmt.Printf("compiled: %d superinstructions fused, %d branch sites\n\n",
+		cost.FusedOps, cost.BranchSites)
+	router.PFE(0).SetApp(app)
 	router.AttachExternal(0, 1, func(port int, frame []byte, at sim.Time) {
 		fmt.Printf("  [%v] forwarded %d-byte frame on port %d\n", at, len(frame), port)
 	})

@@ -1,0 +1,121 @@
+package dse
+
+import (
+	"reflect"
+	"testing"
+)
+
+// pruneSpace: cost = a + b, size = 100 - a (maximize nothing; minimize
+// both). The frontier in (cost, size) trades a against b.
+func pruneModel(p Point) (map[string]float64, error) {
+	a, b := p.Params["a"], p.Params["b"]
+	return map[string]float64{
+		"cost": a + b,
+		"size": 100 - a,
+	}, nil
+}
+
+var pruneObjs = []Objective{
+	{Metric: "cost"},
+	{Metric: "size"},
+}
+
+func TestPruneByModelKeepsFrontier(t *testing.T) {
+	space := NewSpace(
+		Axis{Name: "a", Values: []float64{0, 10, 20, 30}},
+		Axis{Name: "b", Values: []float64{0, 5, 50}},
+	)
+	points := space.Grid()
+	pr, err := PruneByModel(points, pruneModel, 0, pruneObjs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Estimates) != len(points) {
+		t.Fatalf("estimates = %d, want %d", len(pr.Estimates), len(points))
+	}
+	// For each a, only b=0 survives (b only hurts cost); every a value
+	// trades cost against size, so 4 survivors.
+	if len(pr.Points) != 4 {
+		t.Fatalf("survivors = %d, want 4: %+v", len(pr.Points), pr.Points)
+	}
+	for i, p := range pr.Points {
+		if p.Index != i {
+			t.Fatalf("survivor %d has Index %d (must be re-indexed for Executor.Run)", i, p.Index)
+		}
+		if p.Params["b"] != 0 {
+			t.Fatalf("survivor %d has b=%v, want 0", i, p.Params["b"])
+		}
+		orig := points[pr.Original[i]]
+		if !reflect.DeepEqual(orig.Params, p.Params) {
+			t.Fatalf("Original[%d] maps to %+v, not %+v", i, orig.Params, p.Params)
+		}
+	}
+	if got := pr.Kept(); got != 4.0/12.0 {
+		t.Fatalf("Kept() = %v", got)
+	}
+}
+
+func TestPruneByModelSlackKeepsNearFrontier(t *testing.T) {
+	space := NewSpace(
+		Axis{Name: "a", Values: []float64{0, 10}},
+		Axis{Name: "b", Values: []float64{0, 0.5, 50}},
+	)
+	points := space.Grid()
+	strict, err := PruneByModel(points, pruneModel, 0, pruneObjs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := PruneByModel(points, pruneModel, 0.2, pruneObjs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b=0.5 is within 20% of the b=0 frontier point at a=10 (cost 10.5 vs
+	// 10) but not on it; slack must keep it while strict pruning drops it.
+	if len(strict.Points) >= len(loose.Points) {
+		t.Fatalf("strict kept %d, loose kept %d — slack should keep near-frontier points",
+			len(strict.Points), len(loose.Points))
+	}
+	found := false
+	for _, p := range loose.Points {
+		if p.Params["a"] == 10 && p.Params["b"] == 0.5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("slack=0.2 dropped the near-frontier point: %+v", loose.Points)
+	}
+}
+
+func TestPruneByModelDeterministic(t *testing.T) {
+	space := NewSpace(
+		Axis{Name: "a", Values: []float64{0, 10, 20}},
+		Axis{Name: "b", Values: []float64{0, 5}},
+	)
+	x, err := PruneByModel(space.Grid(), pruneModel, 0.1, pruneObjs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := PruneByModel(space.Grid(), pruneModel, 0.1, pruneObjs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(x, y) {
+		t.Fatal("pruning is not deterministic")
+	}
+}
+
+func TestPruneByModelValidation(t *testing.T) {
+	pts := NewSpace(Axis{Name: "a", Values: []float64{1}}).Grid()
+	if _, err := PruneByModel(pts, pruneModel, -0.1, pruneObjs...); err == nil {
+		t.Fatal("negative slack accepted")
+	}
+	if _, err := PruneByModel(pts, pruneModel, 0); err == nil {
+		t.Fatal("no objectives accepted")
+	}
+	missing := func(p Point) (map[string]float64, error) {
+		return map[string]float64{"cost": 1}, nil
+	}
+	if _, err := PruneByModel(pts, missing, 0, pruneObjs...); err == nil {
+		t.Fatal("missing objective metric accepted")
+	}
+}

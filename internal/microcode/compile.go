@@ -1,0 +1,498 @@
+// The v2 execution pipeline: Compile lowers a verified Program into a flat,
+// pc-resolved internal representation — branch targets become instruction
+// indices, operands become pre-decoded accessors with their shift masks and
+// byte windows computed once, and the common Move/Cond shapes fuse into
+// superinstructions — which RunCompiled then dispatches with zero map
+// lookups and zero per-instruction allocations. The tree-walking Run in
+// exec.go stays as the reference interpreter; the two are cross-checked
+// instruction for instruction in tests.
+package microcode
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/trioml/triogo/internal/bitfield"
+	"github.com/trioml/triogo/internal/sim"
+)
+
+// accKind discriminates pre-decoded operand accessors. The byte-aligned
+// local-memory kinds skip package bitfield's per-call alignment analysis and
+// go straight to big-endian byte loads/stores.
+type accKind uint8
+
+const (
+	accImm       accKind = iota
+	accReg               // full 64-bit register
+	accRegField          // register bit-field: shift + precomputed mask
+	accLMemBytes         // static byte-aligned local-memory window
+	accLMemBits          // static local memory, arbitrary bit offset/width
+	accPtrBytes          // pointer register + static byte offset, byte-aligned width
+	accPtrBits           // pointer register, sub-byte width
+)
+
+// acc is one pre-decoded operand accessor.
+type acc struct {
+	kind    accKind
+	val     uint64 // accImm
+	reg     int
+	off     uint // accRegField shift; accLMemBits/accPtrBits bit offset
+	width   uint
+	mask    uint64 // accRegField: ^0 >> (64-width)
+	byteOff int    // accLMemBytes absolute; accPtrBytes static byte offset
+	nbytes  int
+}
+
+func compileAcc(o Operand) acc {
+	switch o.Kind {
+	case Imm:
+		return acc{kind: accImm, val: o.Val}
+	case Reg:
+		if o.Width == 0 {
+			return acc{kind: accReg, reg: o.Reg}
+		}
+		return acc{kind: accRegField, reg: o.Reg, off: o.Off, width: o.Width,
+			mask: ^uint64(0) >> (64 - o.Width)}
+	case LMem:
+		if o.Off%8 == 0 && o.Width%8 == 0 {
+			return acc{kind: accLMemBytes, byteOff: int(o.Off / 8), nbytes: int(o.Width / 8), width: o.Width}
+		}
+		return acc{kind: accLMemBits, off: o.Off, width: o.Width}
+	case LMemPtr:
+		// checkOperand guarantees the static offset is byte-aligned.
+		if o.Width%8 == 0 {
+			return acc{kind: accPtrBytes, reg: o.Reg, byteOff: int(o.Off / 8), nbytes: int(o.Width / 8), width: o.Width}
+		}
+		return acc{kind: accPtrBits, reg: o.Reg, byteOff: int(o.Off / 8), width: o.Width}
+	}
+	panic("microcode: bad operand kind")
+}
+
+// ptrByteAddr resolves a pointer accessor's dynamic byte address with the
+// same fault condition the interpreter's ptrBitOff enforces.
+func (t *Thread) ptrByteAddr(a *acc, nbytes uint64) uint64 {
+	addr := t.Regs[a.reg] + uint64(a.byteOff)
+	if addr+nbytes > LMemBytes {
+		panic(threadFault{fmt.Sprintf("pointer access r%d -> [%d,%d) outside %d-byte local memory", a.reg, addr, addr+nbytes, LMemBytes)})
+	}
+	return addr
+}
+
+func (t *Thread) readAcc(a *acc) uint64 {
+	switch a.kind {
+	case accImm:
+		return a.val
+	case accReg:
+		return t.Regs[a.reg]
+	case accRegField:
+		return t.Regs[a.reg] >> a.off & a.mask
+	case accLMemBytes:
+		var v uint64
+		for _, b := range t.LMem[a.byteOff : a.byteOff+a.nbytes] {
+			v = v<<8 | uint64(b)
+		}
+		return v
+	case accLMemBits:
+		return bitfield.Get(t.LMem[:], a.off, a.width)
+	case accPtrBytes:
+		addr := t.ptrByteAddr(a, uint64(a.nbytes))
+		var v uint64
+		for _, b := range t.LMem[addr : addr+uint64(a.nbytes)] {
+			v = v<<8 | uint64(b)
+		}
+		return v
+	case accPtrBits:
+		addr := t.ptrByteAddr(a, uint64((a.width+7)/8))
+		return bitfield.Get(t.LMem[:], uint(addr)*8, a.width)
+	}
+	panic("microcode: bad accessor kind")
+}
+
+func (t *Thread) writeAcc(a *acc, v uint64) {
+	switch a.kind {
+	case accReg:
+		t.Regs[a.reg] = v
+	case accRegField:
+		m := a.mask << a.off
+		t.Regs[a.reg] = t.Regs[a.reg]&^m | v<<a.off&m
+	case accLMemBytes:
+		for i := a.nbytes - 1; i >= 0; i-- {
+			t.LMem[a.byteOff+i] = byte(v)
+			v >>= 8
+		}
+	case accLMemBits:
+		bitfield.Put(t.LMem[:], a.off, a.width, v)
+	case accPtrBytes:
+		addr := t.ptrByteAddr(a, uint64(a.nbytes))
+		for i := a.nbytes - 1; i >= 0; i-- {
+			t.LMem[addr+uint64(i)] = byte(v)
+			v >>= 8
+		}
+	case accPtrBits:
+		addr := t.ptrByteAddr(a, uint64((a.width+7)/8))
+		bitfield.Put(t.LMem[:], uint(addr)*8, a.width, v)
+	default:
+		panic("microcode: bad move destination")
+	}
+}
+
+// mvKind selects a Move superinstruction shape.
+type mvKind uint8
+
+const (
+	// mvGeneric is the unfused form: readAcc/writeAcc through the accessor
+	// switch.
+	mvGeneric mvKind = iota
+	// mvRegOpImm fuses `r = r op imm` (full-width register accumulators: the
+	// ptr_s/ptr_b/lane steps of every Microcode loop).
+	mvRegOpImm
+	// mvPtrRMW32 fuses `lmem32[p + k] = lmem32[p + k] op lmem32[q + j]` — the
+	// gradient read-modify-write of Fig. 10's aggregation loop — into one
+	// bounds check per side and direct big-endian 32-bit loads/stores.
+	mvPtrRMW32
+)
+
+type cmove struct {
+	kind mvKind
+	dst  acc
+	a, b acc
+	fn   ALUFn
+	crop uint64 // result mask; 0 = none (full width)
+}
+
+// cdKind selects a Cond superinstruction shape.
+type cdKind uint8
+
+const (
+	cdGeneric cdKind = iota
+	// cdRegImm fuses `r cmp imm` — the loop-control compare.
+	cdRegImm
+)
+
+type ccond struct {
+	kind cdKind
+	a, b acc
+	cmp  CmpFn
+	bit  uint8 // 1 << Idx
+}
+
+// ccase is a branch case with its action lowered: fallthroughs are resolved
+// to explicit jumps and labels to instruction indices.
+type ccase struct {
+	mask, want uint8
+	kind       ActionKind // ActGoto / ActCall / ActReturn / ActExit
+	target     int
+	verdict    Verdict
+}
+
+// Dispatch-loop shape tags. The tag picks the lightest loop body the
+// instruction can use; tGeneric carries the full four-phase machinery.
+const (
+	tGeneric     uint8 = iota
+	tMovesJump         // moves only, unconditional jump: no conds to clear
+	tMovesBranch       // conds + moves + all-goto branch, no XTXN
+)
+
+// cop is one compiled micro-instruction.
+type cop struct {
+	tag   uint8
+	conds []ccond
+	moves []cmove
+	xtxn  *XTXN
+	cases []ccase
+	def   ccase
+	label string
+	fused int // superinstructions fused into this op (dump annotation)
+}
+
+// Compiled is a verified, lowered program ready for RunCompiled.
+type Compiled struct {
+	Name string
+	Src  *Program
+
+	ops    []cop
+	labels map[string]int
+	fused  int
+}
+
+// Len reports the compiled instruction count (1:1 with the source program —
+// fusion specializes ops inside an instruction, it never merges across
+// instruction boundaries, so Stats.Instructions stays comparable).
+func (c *Compiled) Len() int { return len(c.ops) }
+
+// Fused reports how many operations were fused into superinstruction forms.
+func (c *Compiled) Fused() int { return c.fused }
+
+// Lookup resolves a label to a compiled pc.
+func (c *Compiled) Lookup(label string) (int, bool) {
+	i, ok := c.labels[label]
+	return i, ok
+}
+
+// Compile verifies p and lowers it. A Compiled program cannot misbranch,
+// fall off the end, or overflow the call stack at run time: Verify rejected
+// those programs before this function lowered anything.
+func Compile(p *Program) (*Compiled, error) {
+	if err := Verify(p); err != nil {
+		mcVerifyRejects.Add(1)
+		return nil, err
+	}
+	c := &Compiled{Name: p.Name, Src: p, ops: make([]cop, len(p.Instrs)),
+		labels: make(map[string]int, len(p.Instrs))}
+	for pc, in := range p.Instrs {
+		c.labels[in.Label] = pc
+	}
+	for pc := range p.Instrs {
+		c.ops[pc] = c.compileInstr(p, pc)
+		c.fused += c.ops[pc].fused
+	}
+	mcProgramsCompiled.Add(1)
+	mcFusedOps.Add(uint64(c.fused))
+	return c, nil
+}
+
+// MustCompile is Compile panicking on error, for statically-known programs.
+func MustCompile(p *Program) *Compiled {
+	c, err := Compile(p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func (c *Compiled) compileInstr(p *Program, pc int) cop {
+	in := &p.Instrs[pc]
+	op := cop{label: in.Label}
+
+	for _, cd := range in.Conds {
+		cc := ccond{kind: cdGeneric, a: compileAcc(cd.A), b: compileAcc(cd.B), cmp: cd.Cmp, bit: 1 << cd.Idx}
+		if cc.a.kind == accReg && cc.b.kind == accImm {
+			cc.kind = cdRegImm
+			op.fused++
+		}
+		op.conds = append(op.conds, cc)
+	}
+
+	for _, m := range in.Moves {
+		mv := cmove{kind: mvGeneric, dst: compileAcc(m.Dst), a: compileAcc(m.A), b: compileAcc(m.B), fn: m.Fn}
+		if m.Dst.Width != 0 && m.Dst.Width < 64 {
+			mv.crop = ^uint64(0) >> (64 - m.Dst.Width)
+		}
+		switch {
+		case mv.dst.kind == accReg && mv.a.kind == accReg && mv.dst.reg == mv.a.reg &&
+			mv.b.kind == accImm && m.Fn != Pass:
+			mv.kind = mvRegOpImm
+			op.fused++
+		case mv.dst.kind == accPtrBytes && mv.a.kind == accPtrBytes &&
+			mv.dst.reg == mv.a.reg && mv.dst.byteOff == mv.a.byteOff &&
+			mv.dst.nbytes == 4 && mv.a.nbytes == 4 &&
+			mv.b.kind == accPtrBytes && mv.b.nbytes == 4 && m.Fn != Pass:
+			mv.kind = mvPtrRMW32
+			op.fused++
+		}
+		op.moves = append(op.moves, mv)
+	}
+
+	if len(in.XTXNs) > 0 {
+		x := in.XTXNs[0] // MaxXTXNs == 1, enforced by validate
+		op.xtxn = &x
+	}
+
+	lower := func(a Action) ccase {
+		cc := ccase{kind: a.Kind, verdict: a.Verdict}
+		switch a.Kind {
+		case ActGoto, ActCall:
+			cc.target = c.labels[a.Target] // Verify proved resolution
+		case ActFallthrough:
+			cc.kind = ActGoto
+			cc.target = pc + 1 // Verify proved pc+1 exists
+		}
+		return cc
+	}
+	for _, bc := range in.Br.Cases {
+		cc := lower(bc.Act)
+		cc.mask, cc.want = bc.Mask, bc.Want
+		op.cases = append(op.cases, cc)
+	}
+	op.def = lower(in.Br.Default)
+
+	// Pick the lightest dispatch shape.
+	allGoto := op.def.kind == ActGoto
+	for _, cs := range op.cases {
+		allGoto = allGoto && cs.kind == ActGoto
+	}
+	switch {
+	case op.xtxn == nil && len(op.conds) == 0 && len(op.cases) == 0 && op.def.kind == ActGoto:
+		op.tag = tMovesJump
+	case op.xtxn == nil && allGoto:
+		op.tag = tMovesBranch
+	default:
+		op.tag = tGeneric
+	}
+	return op
+}
+
+// execMove runs one compiled Move with the interpreter's cascade semantics:
+// B is evaluated before A (matching the reference engine's fault order), the
+// result is cropped to the destination width, then written.
+func (t *Thread) execMove(m *cmove) {
+	switch m.kind {
+	case mvRegOpImm:
+		t.Regs[m.dst.reg] = alu(m.fn, t.Regs[m.a.reg], m.b.val)
+		return
+	case mvPtrRMW32:
+		sa := t.ptrByteAddr(&m.b, 4)
+		da := t.ptrByteAddr(&m.dst, 4)
+		v := alu(m.fn, uint64(binary.BigEndian.Uint32(t.LMem[da:])), uint64(binary.BigEndian.Uint32(t.LMem[sa:])))
+		binary.BigEndian.PutUint32(t.LMem[da:da+4], uint32(v))
+		return
+	}
+	var b uint64
+	if m.fn != Pass {
+		b = t.readAcc(&m.b)
+	}
+	v := alu(m.fn, t.readAcc(&m.a), b)
+	if m.crop != 0 {
+		v &= m.crop
+	}
+	t.writeAcc(&m.dst, v)
+}
+
+func (t *Thread) execCond(cd *ccond) {
+	switch cd.kind {
+	case cdRegImm:
+		if compare(cd.cmp, t.Regs[cd.a.reg], cd.b.val) {
+			t.conds |= cd.bit
+		}
+	default:
+		if compare(cd.cmp, t.readAcc(&cd.a), t.readAcc(&cd.b)) {
+			t.conds |= cd.bit
+		}
+	}
+}
+
+// RunCompiled executes a compiled program from the entry label until the
+// thread exits, using default timing and budget.
+func RunCompiled(c *Compiled, t *Thread, entry string) (Verdict, error) {
+	return RunCompiledLimited(c, t, entry, DefaultTiming(), DefaultBudget)
+}
+
+// RunCompiledLimited is the direct-threaded dispatch loop: a flat array of
+// pre-decoded ops, integer branch targets, a fixed-depth call stack, and no
+// allocation after entry. Its observable behaviour — Stats, Verdict, Now,
+// registers, local memory, fault classes — is bit-identical to RunLimited on
+// the same program.
+func RunCompiledLimited(c *Compiled, t *Thread, entry string, timing Timing, budget uint64) (v Verdict, err error) {
+	start := t.Stats.Instructions
+	defer func() {
+		mcDispatchInstrs.Add(t.Stats.Instructions - start)
+		if r := recover(); r != nil {
+			if f, ok := r.(threadFault); ok {
+				v, err = VerdictNone, fmt.Errorf("%w: %s", ErrFault, f.msg)
+				return
+			}
+			panic(r)
+		}
+	}()
+	return c.run(t, entry, timing, budget)
+}
+
+func (c *Compiled) run(t *Thread, entry string, timing Timing, budget uint64) (Verdict, error) {
+	if timing.CycleTime == 0 {
+		timing.CycleTime = DefaultTiming().CycleTime
+	}
+	if timing.CyclesPerInstr == 0 {
+		timing.CyclesPerInstr = DefaultTiming().CyclesPerInstr
+	}
+	pc, ok := c.labels[entry]
+	if !ok {
+		return VerdictNone, fmt.Errorf("microcode: entry label %q not found", entry)
+	}
+	instrTime := sim.Time(timing.CyclesPerInstr) * timing.CycleTime
+	var stack [MaxCallDepth]int
+	sp := 0
+	for n := uint64(0); ; n++ {
+		if n >= budget {
+			return VerdictNone, fmt.Errorf("%w at %q", ErrBudget, c.ops[pc].label)
+		}
+		op := &c.ops[pc]
+		t.Stats.Instructions++
+		if t.TracePC != nil {
+			t.TracePC(pc)
+		}
+
+		switch op.tag {
+		case tMovesJump:
+			// No conditions are read by this op and none survive an
+			// instruction boundary (every branch-bearing op clears them), so
+			// the conds reset is elided.
+			for i := range op.moves {
+				t.execMove(&op.moves[i])
+			}
+			t.Now += instrTime
+			pc = op.def.target
+			continue
+
+		case tMovesBranch:
+			t.conds = 0
+			for i := range op.conds {
+				t.execCond(&op.conds[i])
+			}
+			for i := range op.moves {
+				t.execMove(&op.moves[i])
+			}
+			t.Now += instrTime
+			tgt := op.def.target
+			for i := range op.cases {
+				if t.conds&op.cases[i].mask == op.cases[i].want {
+					tgt = op.cases[i].target
+					break
+				}
+			}
+			pc = tgt
+			continue
+		}
+
+		// tGeneric: the full four-phase machinery, identical in ordering to
+		// the reference interpreter.
+		t.conds = 0
+		for i := range op.conds {
+			t.execCond(&op.conds[i])
+		}
+		for i := range op.moves {
+			t.execMove(&op.moves[i])
+		}
+		if op.xtxn != nil {
+			if err := t.issueXTXN(op.xtxn); err != nil {
+				return VerdictNone, fmt.Errorf("microcode: %q: %w", op.label, err)
+			}
+		}
+		t.Now += instrTime
+		act := &op.def
+		for i := range op.cases {
+			if t.conds&op.cases[i].mask == op.cases[i].want {
+				act = &op.cases[i]
+				break
+			}
+		}
+		switch act.kind {
+		case ActGoto:
+			pc = act.target
+		case ActCall:
+			if sp >= MaxCallDepth {
+				return VerdictNone, fmt.Errorf("%w at %q", ErrCallDepth, op.label)
+			}
+			stack[sp] = pc + 1
+			sp++
+			pc = act.target
+		case ActReturn:
+			if sp == 0 {
+				return VerdictNone, fmt.Errorf("%w at %q", ErrRetEmpty, op.label)
+			}
+			sp--
+			pc = stack[sp]
+		case ActExit:
+			return act.verdict, nil
+		}
+	}
+}

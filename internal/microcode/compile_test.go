@@ -1,0 +1,519 @@
+package microcode
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// ---- cross-check: reference interpreter vs compiled dispatch ----
+
+// crossCheck runs src on both engines from identical initial state and
+// insists every observable is bit-identical: verdict, error, Stats, Now,
+// registers, local memory, and the per-instruction pc trace.
+func crossCheck(t *testing.T, name, src string, init func(th *Thread, env *testEnv)) {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("%s: assemble: %v", name, err)
+	}
+	c, err := Compile(p)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", name, err)
+	}
+	entry := p.Instrs[0].Label
+
+	mk := func() (*Thread, *testEnv) {
+		env := newTestEnv()
+		th := NewThread(env, 0)
+		if init != nil {
+			init(th, env)
+		}
+		return th, env
+	}
+
+	thI, envI := mk()
+	thC, envC := mk()
+	var traceI, traceC []int
+	thI.TracePC = func(pc int) { traceI = append(traceI, pc) }
+	thC.TracePC = func(pc int) { traceC = append(traceC, pc) }
+
+	vI, errI := Run(p, thI, entry)
+	vC, errC := RunCompiled(c, thC, entry)
+
+	if vI != vC {
+		t.Fatalf("%s: verdict %v (interp) != %v (compiled)", name, vI, vC)
+	}
+	if (errI == nil) != (errC == nil) {
+		t.Fatalf("%s: err %v (interp) != %v (compiled)", name, errI, errC)
+	}
+	if errI != nil && errI.Error() != errC.Error() {
+		t.Fatalf("%s: err %q (interp) != %q (compiled)", name, errI, errC)
+	}
+	if thI.Stats != thC.Stats {
+		t.Fatalf("%s: stats %+v (interp) != %+v (compiled)", name, thI.Stats, thC.Stats)
+	}
+	if thI.Now != thC.Now {
+		t.Fatalf("%s: now %v (interp) != %v (compiled)", name, thI.Now, thC.Now)
+	}
+	if thI.Regs != thC.Regs {
+		t.Fatalf("%s: register files diverge", name)
+	}
+	if thI.LMem != thC.LMem {
+		t.Fatalf("%s: local memories diverge", name)
+	}
+	if len(traceI) != len(traceC) {
+		t.Fatalf("%s: trace length %d (interp) != %d (compiled)", name, len(traceI), len(traceC))
+	}
+	for i := range traceI {
+		if traceI[i] != traceC[i] {
+			t.Fatalf("%s: instruction %d: pc %d (interp) != %d (compiled)", name, i, traceI[i], traceC[i])
+		}
+	}
+	if string(envI.tail) != string(envC.tail) {
+		t.Fatalf("%s: packet tails diverge", name)
+	}
+}
+
+func ipv4Head() []byte {
+	head := make([]byte, 64)
+	head[12], head[13] = 0x08, 0x00 // EtherType IPv4
+	head[14] = 0x45                 // ver=4 ihl=5
+	return head
+}
+
+func TestCompiledMatchesInterpreterCorpus(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		init func(th *Thread, env *testEnv)
+	}{
+		{"filter_forward", filterSource, func(th *Thread, env *testEnv) {
+			th.LoadHead(ipv4Head())
+			th.Regs[1] = 200
+		}},
+		{"filter_drop_arp", filterSource, func(th *Thread, env *testEnv) {
+			head := ipv4Head()
+			head[12], head[13] = 0x08, 0x06
+			th.LoadHead(head)
+			th.Regs[1] = 64
+		}},
+		{"filter_drop_options", filterSource, func(th *Thread, env *testEnv) {
+			head := ipv4Head()
+			head[14] = 0x46 // ihl=6
+			th.LoadHead(head)
+			th.Regs[1] = 80
+		}},
+		{"call_return", `
+main: begin
+    call sub;
+end
+after: begin
+    r0 = r0 + 100;
+    exit(forward);
+end
+sub: begin
+    r0 = r0 + 1;
+    return;
+end
+`, nil},
+		{"hash_ops", `
+s: begin
+    hash_insert(7, 42);
+    goto look;
+end
+look: begin
+    hash_lookup(7);
+    if (hit) { goto found; }
+    exit(drop);
+end
+found: begin
+    r0 = r31;
+    hash_delete(7);
+    goto miss;
+end
+miss: begin
+    hash_lookup(7);
+    if (!hit) { exit(forward); }
+    exit(drop);
+end
+`, nil},
+		{"mem_rw_async_counter", `
+s: begin
+    lmem64[0] = 0x1122334455667788;
+    mem_write(0x200, 8, 0);
+    goto rd;
+end
+rd: begin
+    mem_read(0x200, 8, 16);
+    goto cnt;
+end
+cnt: begin
+    async counter_inc(0x40, 100);
+    goto use;
+end
+use: begin
+    r0 = lmem64[16];
+    exit(forward);
+end
+`, nil},
+		{"tail_rw", `
+s: begin
+    tail_read(4, 8, 32);
+    goto mod;
+end
+mod: begin
+    lmem32[32] = lmem32[32] + 1;
+    tail_write(4, 8, 32);
+    exit(forward);
+end
+`, func(th *Thread, env *testEnv) {
+			env.tail = []byte("tail data for the rw corpus case")
+		}},
+		{"pointer_loop", `
+s: begin
+    r11 = 0;
+    r13 = 8;
+    goto loop;
+end
+loop: begin
+    r0 = r0 + lmem32[r11];
+    r11 = r11 + 4;
+    goto ctl;
+end
+ctl: begin
+    r13 = r13 - 1;
+    if (r13 != 1) { goto loop; }
+    exit(consume);
+end
+`, func(th *Thread, env *testEnv) {
+			for i := 0; i < 64; i++ {
+				th.LMem[i] = byte(i * 3)
+			}
+		}},
+		{"eight_way_branch", `
+sel: begin
+    if (r1 == 0) { goto w0; }
+    if (r1 == 1) { goto w1; }
+    if (r1 == 2) { goto w0; }
+    goto w1;
+end
+w0: begin
+    r0 = 100;
+    exit(forward);
+end
+w1: begin
+    r0 = 200;
+    exit(drop);
+end
+`, func(th *Thread, env *testEnv) {
+			th.Regs[1] = 1
+		}},
+		{"ptr_fault", `
+s: begin
+    r11 = 2000;
+    goto bad;
+end
+bad: begin
+    r0 = lmem32[r11];
+    exit(forward);
+end
+`, nil},
+	}
+	for _, tc := range cases {
+		crossCheck(t, tc.name, tc.src, tc.init)
+	}
+}
+
+func TestCompiledMatchesInterpreterExpressions(t *testing.T) {
+	// The random-expression shape of TestAssemblerExpressionProperty, run on
+	// both engines.
+	ops := []string{"+", "-", "&", "|", "^", "*"}
+	rng := func(seed *uint64) uint64 {
+		*seed = *seed*6364136223846793005 + 1442695040888963407
+		return *seed >> 33
+	}
+	for trial := uint64(0); trial < 60; trial++ {
+		seed := trial + 1
+		c1, c2 := rng(&seed)%1000, rng(&seed)%1000
+		o := [3]int{int(rng(&seed)) % len(ops), int(rng(&seed)) % len(ops), int(rng(&seed)) % len(ops)}
+		r1, r2 := rng(&seed), rng(&seed)
+		src := fmt.Sprintf(`
+s: begin
+    r3 = (r1 %s %d) %s r2;
+    goto s2;
+end
+s2: begin
+    r0 = r3 %s %d;
+    exit(consume);
+end
+`, ops[o[0]], c1, ops[o[1]], ops[o[2]], c2)
+		crossCheck(t, fmt.Sprintf("expr_%d", trial), src, func(th *Thread, env *testEnv) {
+			th.Regs[1], th.Regs[2] = r1, r2
+		})
+	}
+}
+
+func TestCompiledBudgetMatchesInterpreter(t *testing.T) {
+	p := MustAssemble(`
+loop: begin
+    r0 = r0 + 1;
+    goto loop;
+end
+`)
+	c := MustCompile(p)
+	thI, thC := NewThread(nil, 0), NewThread(nil, 0)
+	_, errI := RunLimited(p, thI, "loop", DefaultTiming(), 100)
+	_, errC := RunCompiledLimited(c, thC, "loop", DefaultTiming(), 100)
+	if !errors.Is(errI, ErrBudget) || !errors.Is(errC, ErrBudget) {
+		t.Fatalf("errs = %v / %v, want budget", errI, errC)
+	}
+	if thI.Stats != thC.Stats || thI.Regs != thC.Regs || thI.Now != thC.Now {
+		t.Fatal("budget-terminated state diverges")
+	}
+}
+
+func TestCompiledUnknownEntry(t *testing.T) {
+	c := MustCompile(MustAssemble("s: begin exit(drop); end"))
+	if _, err := RunCompiled(c, NewThread(nil, 0), "nope"); err == nil {
+		t.Fatal("unknown entry accepted")
+	}
+}
+
+// ---- the silent-misbranch regression (satellite 1) ----
+
+// A branch target mutated after NewProgram used to jump silently to pc 0;
+// now the interpreter reports ErrBadLabel and the static pipeline refuses to
+// compile the program at all.
+func TestMutatedBranchTargetIsNotSilentMisbranch(t *testing.T) {
+	src := `
+a: begin
+    r0 = 1;
+    goto b;
+end
+b: begin
+    exit(forward);
+end
+`
+	p := MustAssemble(src)
+	p.Instrs[0].Br.Default = Action{Kind: ActGoto, Target: "nonexistent"}
+
+	th := NewThread(nil, 0)
+	_, err := Run(p, th, "a")
+	if !errors.Is(err, ErrBadLabel) {
+		t.Fatalf("interpreter err = %v, want ErrBadLabel", err)
+	}
+	if th.Stats.Instructions != 1 {
+		t.Fatalf("instructions = %d, want 1 (no silent loop through pc 0)", th.Stats.Instructions)
+	}
+	if err := Verify(p); err == nil {
+		t.Fatal("Verify accepted a dangling branch target")
+	}
+	if _, err := Compile(p); err == nil {
+		t.Fatal("Compile accepted a dangling branch target")
+	}
+
+	// Same for a mutated call target.
+	p2 := MustAssemble(src)
+	p2.Instrs[0].Br.Default = Action{Kind: ActCall, Target: "nonexistent"}
+	if _, err := Run(p2, NewThread(nil, 0), "a"); !errors.Is(err, ErrBadLabel) {
+		t.Fatalf("interpreter call err = %v, want ErrBadLabel", err)
+	}
+}
+
+// ---- verifier ----
+
+func TestVerifyAcceptsCorpusPrograms(t *testing.T) {
+	for _, src := range []string{filterSource,
+		"s: begin exit(drop); end",
+		"loop: begin goto loop; end"} {
+		p := MustAssemble(src)
+		if err := Verify(p); err != nil {
+			t.Fatalf("Verify(%q) = %v", p.Name, err)
+		}
+	}
+}
+
+func TestVerifyRejectsFallthroughPastEnd(t *testing.T) {
+	p := MustProgram("t", []Instruction{{
+		Label: "only",
+		Moves: []MoveOp{{Dst: R(0), A: Imm64(1), Fn: Pass}},
+		Br:    Branch{Default: Action{Kind: ActFallthrough}},
+	}})
+	if err := Verify(p); err == nil || !strings.Contains(err.Error(), "falls through") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerifyRejectsCallAtLastInstruction(t *testing.T) {
+	p := MustProgram("t", []Instruction{
+		{Label: "a", Br: Branch{Default: Action{Kind: ActGoto, Target: "b"}}},
+		{Label: "b", Br: Branch{Default: Action{Kind: ActCall, Target: "a"}}},
+	})
+	if err := Verify(p); err == nil || !strings.Contains(err.Error(), "last instruction") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerifyRejectsRecursion(t *testing.T) {
+	p := MustAssemble(`
+rec: begin
+    call rec;
+end
+done: begin
+    exit(drop);
+end
+`)
+	if err := Verify(p); err == nil || !strings.Contains(err.Error(), "recursive") {
+		t.Fatalf("err = %v", err)
+	}
+	// The reference interpreter still executes it (and still hits the
+	// run-time depth limit) — only the compiled pipeline insists on the
+	// static proof.
+	if _, err := Run(MustAssemble("rec: begin\n    call rec;\nend\ndone: begin\n    exit(drop);\nend\n"), NewThread(nil, 0), "rec"); !errors.Is(err, ErrCallDepth) {
+		t.Fatalf("interpreter err = %v, want ErrCallDepth", err)
+	}
+}
+
+// chainProgram builds n nested subroutines: top calls f0, fi calls fi+1.
+func chainProgram(n int) *Program {
+	var instrs []Instruction
+	instrs = append(instrs,
+		Instruction{Label: "top", Br: Branch{Default: Action{Kind: ActCall, Target: "f0"}}},
+		Instruction{Label: "done", Br: Branch{Default: Action{Kind: ActExit, Verdict: VerdictConsume}}},
+	)
+	for i := 0; i < n; i++ {
+		if i < n-1 {
+			instrs = append(instrs,
+				Instruction{Label: fmt.Sprintf("f%d", i), Br: Branch{Default: Action{Kind: ActCall, Target: fmt.Sprintf("f%d", i+1)}}},
+				Instruction{Label: fmt.Sprintf("f%dret", i), Br: Branch{Default: Action{Kind: ActReturn}}},
+			)
+		} else {
+			instrs = append(instrs, Instruction{Label: fmt.Sprintf("f%d", i), Br: Branch{Default: Action{Kind: ActReturn}}})
+		}
+	}
+	return MustProgram("chain", instrs)
+}
+
+func TestVerifyCallDepthBound(t *testing.T) {
+	if err := Verify(chainProgram(MaxCallDepth)); err != nil {
+		t.Fatalf("depth-%d chain rejected: %v", MaxCallDepth, err)
+	}
+	if err := Verify(chainProgram(MaxCallDepth + 1)); err == nil {
+		t.Fatalf("depth-%d chain accepted", MaxCallDepth+1)
+	}
+	// And the accepted chain runs identically on both engines.
+	p := chainProgram(MaxCallDepth)
+	c := MustCompile(p)
+	thI, thC := NewThread(nil, 0), NewThread(nil, 0)
+	vI, errI := Run(p, thI, "top")
+	vC, errC := RunCompiled(c, thC, "top")
+	if errI != nil || errC != nil || vI != vC || thI.Stats != thC.Stats {
+		t.Fatalf("chain run diverges: %v/%v %v/%v", vI, vC, errI, errC)
+	}
+}
+
+// ---- lowering details ----
+
+func TestCompileFusesLoopShapes(t *testing.T) {
+	// The Fig. 10 aggregation loop shape: the RMW add and the loop-control
+	// ops must all lower into superinstruction forms.
+	p := MustAssemble(`
+init: begin
+    r12 = 448;
+    r11 = 54;
+    goto init2;
+end
+init2: begin
+    r13 = 16;
+    goto add_loop;
+end
+add_loop: begin
+    lmem32[r12] = lmem32[r12] + lmem32[r11];
+    r11 = r11 + 4;
+    goto add_ctl;
+end
+add_ctl: begin
+    r13 = r13 - 1;
+    r12 = r12 + 4;
+    if (r13 != 1) { goto add_loop; }
+    exit(consume);
+end
+`)
+	c := MustCompile(p)
+	if c.Fused() < 5 {
+		t.Fatalf("fused = %d, want >= 5 (rmw32 + 4 reg-op-imm + reg-imm cond)", c.Fused())
+	}
+	add, _ := c.Lookup("add_loop")
+	if c.ops[add].tag != tMovesJump {
+		t.Fatalf("add_loop tag = %d, want tMovesJump", c.ops[add].tag)
+	}
+	if c.ops[add].moves[0].kind != mvPtrRMW32 {
+		t.Fatalf("add_loop move 0 kind = %d, want mvPtrRMW32", c.ops[add].moves[0].kind)
+	}
+	ctl, _ := c.Lookup("add_ctl")
+	if c.ops[ctl].tag != tGeneric { // exit default keeps it generic
+		t.Fatalf("add_ctl tag = %d", c.ops[ctl].tag)
+	}
+	if c.ops[ctl].conds[0].kind != cdRegImm {
+		t.Fatal("loop-control compare not fused")
+	}
+
+	dump := c.DumpCompiled()
+	for _, want := range []string{"fused rmw32", "fused reg-op-imm", "fused reg-imm", "goto"} {
+		if !strings.Contains(dump, want) {
+			t.Fatalf("DumpCompiled missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestCompiledFallthroughResolved(t *testing.T) {
+	p := MustProgram("t", []Instruction{
+		{Label: "a", Moves: []MoveOp{{Dst: R(0), A: Imm64(7), Fn: Pass}},
+			Br: Branch{Default: Action{Kind: ActFallthrough}}},
+		{Label: "b", Br: Branch{Default: Action{Kind: ActExit, Verdict: VerdictForward}}},
+	})
+	c := MustCompile(p)
+	a, _ := c.Lookup("a")
+	if c.ops[a].def.kind != ActGoto || c.ops[a].def.target != a+1 {
+		t.Fatalf("fallthrough not lowered to goto pc+1: %+v", c.ops[a].def)
+	}
+	th := NewThread(nil, 0)
+	if v, err := RunCompiled(c, th, "a"); err != nil || v != VerdictForward || th.Regs[0] != 7 {
+		t.Fatalf("run: %v %v r0=%d", v, err, th.Regs[0])
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	c := MustCompile(MustAssemble(`
+s: begin
+    mem_read(0x100, 8, 0);
+    goto w;
+end
+w: begin
+    async mem_write(0x100, 8, 0);
+    if (r0 == 0) { goto s; }
+    exit(drop);
+end
+`))
+	m := c.Cost()
+	if m.StaticInstructions != 2 || m.XTXNSites != 2 || m.SyncXTXNSites != 1 || m.BranchSites != 1 {
+		t.Fatalf("cost = %+v", m)
+	}
+}
+
+func TestPipelineStatsAdvance(t *testing.T) {
+	before := ReadPipelineStats()
+	c := MustCompile(MustAssemble("s: begin\n    r0 = r0 + 1;\n    exit(drop);\nend\n"))
+	if _, err := RunCompiled(c, NewThread(nil, 0), "s"); err != nil {
+		t.Fatal(err)
+	}
+	after := ReadPipelineStats()
+	if after.ProgramsCompiled <= before.ProgramsCompiled {
+		t.Fatal("programs-compiled tally did not advance")
+	}
+	if after.DispatchInstructions <= before.DispatchInstructions {
+		t.Fatal("dispatch-instructions tally did not advance")
+	}
+}

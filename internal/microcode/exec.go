@@ -53,6 +53,12 @@ type Thread struct {
 	Now   sim.Time
 	Stats Stats
 
+	// TracePC, when non-nil, is invoked with the instruction index about to
+	// execute — before its ALU phases. Both the reference interpreter and the
+	// compiled dispatcher honour it, which is what lets tests cross-check the
+	// two engines instruction for instruction.
+	TracePC func(pc int)
+
 	conds uint8
 	stack []int
 }
@@ -175,6 +181,7 @@ var (
 	ErrCallDepth = errors.New("microcode: call stack overflow")
 	ErrRetEmpty  = errors.New("microcode: return with empty call stack")
 	ErrFellOff   = errors.New("microcode: fell off the end of the program")
+	ErrBadLabel  = errors.New("microcode: branch to unresolved label")
 )
 
 // DefaultBudget bounds runaway programs in tests and the simulator. Trio
@@ -223,6 +230,9 @@ func runLimited(p *Program, t *Thread, entry string, timing Timing, budget uint6
 		}
 		in := &p.Instrs[pc]
 		t.Stats.Instructions++
+		if t.TracePC != nil {
+			t.TracePC(pc)
+		}
 
 		// Phase 1: Condition ALUs, reading pre-instruction state.
 		t.conds = 0
@@ -269,13 +279,21 @@ func runLimited(p *Program, t *Thread, entry string, timing Timing, budget uint6
 		}
 		switch act.Kind {
 		case ActGoto:
-			pc, _ = p.Lookup(act.Target)
+			npc, ok := p.Lookup(act.Target)
+			if !ok {
+				return VerdictNone, fmt.Errorf("%w: %q at %q", ErrBadLabel, act.Target, in.Label)
+			}
+			pc = npc
 		case ActCall:
 			if len(t.stack) >= MaxCallDepth {
 				return VerdictNone, fmt.Errorf("%w at %q", ErrCallDepth, in.Label)
 			}
+			npc, ok := p.Lookup(act.Target)
+			if !ok {
+				return VerdictNone, fmt.Errorf("%w: %q at %q", ErrBadLabel, act.Target, in.Label)
+			}
 			t.stack = append(t.stack, pc+1)
-			pc, _ = p.Lookup(act.Target)
+			pc = npc
 		case ActReturn:
 			if len(t.stack) == 0 {
 				return VerdictNone, fmt.Errorf("%w at %q", ErrRetEmpty, in.Label)

@@ -1,0 +1,120 @@
+package microcode
+
+import (
+	"testing"
+
+	"github.com/trioml/triogo/internal/sim"
+)
+
+// fuzzEnv is a hermetic, panic-free Env: shared memory and tail are fixed
+// arrays with modulo addressing, the hash engine is a plain map. Fuzzed
+// programs can issue any XTXN without reaching engine-level contracts
+// (smem's address-space checks), so every panic the fuzzer finds is a
+// microcode pipeline bug.
+type fuzzEnv struct {
+	mem  [8192]byte
+	tail [512]byte
+	hash map[uint64]uint64
+}
+
+func newFuzzEnv() *fuzzEnv { return &fuzzEnv{hash: map[uint64]uint64{}} }
+
+func (e *fuzzEnv) MemRead(now sim.Time, addr uint64, size int) ([]byte, sim.Time) {
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = e.mem[(addr+uint64(i))%uint64(len(e.mem))]
+	}
+	return b, now + 70
+}
+func (e *fuzzEnv) MemWrite(now sim.Time, addr uint64, data []byte) sim.Time {
+	for i, v := range data {
+		e.mem[(addr+uint64(i))%uint64(len(e.mem))] = v
+	}
+	return now + 70
+}
+func (e *fuzzEnv) CounterInc(now sim.Time, addr uint64, pktLen uint32) sim.Time {
+	e.mem[addr%uint64(len(e.mem))]++
+	return now + 70
+}
+func (e *fuzzEnv) ReadTail(now sim.Time, off, size int) ([]byte, sim.Time) {
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = e.tail[(uint64(off)+uint64(i))%uint64(len(e.tail))]
+	}
+	return b, now + 70
+}
+func (e *fuzzEnv) WriteTail(now sim.Time, off int, data []byte) sim.Time {
+	for i, v := range data {
+		e.tail[(uint64(off)+uint64(i))%uint64(len(e.tail))] = v
+	}
+	return now + 70
+}
+func (e *fuzzEnv) HashLookup(now sim.Time, key uint64) (uint64, bool, sim.Time) {
+	v, ok := e.hash[key]
+	return v, ok, now + 70
+}
+func (e *fuzzEnv) HashInsert(now sim.Time, key, val uint64) (bool, sim.Time) {
+	e.hash[key] = val
+	return true, now + 70
+}
+func (e *fuzzEnv) HashDelete(now sim.Time, key uint64) (bool, sim.Time) {
+	_, ok := e.hash[key]
+	delete(e.hash, key)
+	return ok, now + 70
+}
+
+// FuzzAssemble drives the whole v2 pipeline with arbitrary source text:
+// parse/assemble must never panic; whatever assembles must compile+verify
+// without panicking; and whatever verifies must dispatch without panicking
+// AND bit-identically between the reference interpreter and the compiled
+// engine (verdict, error, statistics, virtual time, register/LMEM state).
+func FuzzAssemble(f *testing.F) {
+	f.Add("program p;\n\na:\nbegin\n    r0 = r1 + 2;\n    if (r0 == 7) { exit(forward); }\n    exit(drop);\nend\n")
+	f.Add("program loop;\n\ntop:\nbegin\n    r2 = r2 + 1;\n    if (r2 != 10) { goto top; }\n    exit(consume);\nend\n")
+	f.Add("program mem;\n\nrd:\nbegin\n    mem_read(r4, 24, 256);\n    goto wr;\nend\n\nwr:\nbegin\n    lmem64[256] = lmem64[256] | 1;\n    async mem_write(r4, 24, 256);\n    exit(forward);\nend\n")
+	f.Add("program call;\n\nmain:\nbegin\n    call sub;\n    exit(forward);\nend\n\nsub:\nbegin\n    r9 = r9 * 3;\n    return;\nend\n")
+	f.Add("program hash;\n\nh:\nbegin\n    hash_lookup(r0, 512);\n    if (c3 == 1) { exit(forward); }\n    exit(drop);\nend\n")
+	f.Add("program ptr;\n\np1:\nbegin\n    r11 = 64;\n    goto p2;\nend\n\np2:\nbegin\n    lmem32[r11] = lmem32[r11] + lmem32[r11 + 4];\n    tail_read(0, 16, 128);\n    exit(consume);\nend\n")
+	f.Add("program bad;\n\nx:\nbegin\n    goto nowhere;\nend\n")
+	f.Add("program rec;\n\nr:\nbegin\n    call r;\nend\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		c, err := Compile(prog)
+		if err != nil {
+			// Statically rejected; the interpreter is allowed to run such
+			// programs (it predates the verifier) but we only fuzz the
+			// verified contract.
+			return
+		}
+		entry := prog.Instrs[0].Label
+		const budget = 4096
+		ei, ec := newFuzzEnv(), newFuzzEnv()
+		ti, tc := NewThread(ei, 0), NewThread(ec, 0)
+		vi, erri := RunLimited(prog, ti, entry, DefaultTiming(), budget)
+		vc, errc := RunCompiledLimited(c, tc, entry, DefaultTiming(), budget)
+		if vi != vc {
+			t.Fatalf("verdict: interpreter %v, compiled %v", vi, vc)
+		}
+		if (erri == nil) != (errc == nil) {
+			t.Fatalf("error: interpreter %v, compiled %v", erri, errc)
+		}
+		if ti.Stats != tc.Stats {
+			t.Fatalf("stats: interpreter %+v, compiled %+v", ti.Stats, tc.Stats)
+		}
+		if ti.Now != tc.Now {
+			t.Fatalf("clock: interpreter %v, compiled %v", ti.Now, tc.Now)
+		}
+		if ti.Regs != tc.Regs {
+			t.Fatalf("registers diverge")
+		}
+		if ti.LMem != tc.LMem {
+			t.Fatalf("LMEM diverges")
+		}
+		if ei.mem != ec.mem || ei.tail != ec.tail {
+			t.Fatalf("environment diverges")
+		}
+	})
+}

@@ -64,8 +64,22 @@ type parser struct {
 	instrs   []Instruction
 }
 
-func (p *parser) cur() token  { return p.toks[p.pos] }
-func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+// cur clamps to the trailing tokEOF so error paths that consume it (e.g. a
+// truncated expression inside an if) cannot index past the token stream.
+func (p *parser) cur() token {
+	if p.pos >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() token {
+	t := p.cur()
+	if p.pos < len(p.toks) {
+		p.pos++
+	}
+	return t
+}
 
 func (p *parser) errf(format string, args ...interface{}) error {
 	return fmt.Errorf("line %d: %s", p.cur().line, fmt.Sprintf(format, args...))

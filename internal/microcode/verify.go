@@ -1,0 +1,175 @@
+package microcode
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Verify is the TC-style static pass of the v2 pipeline: it re-proves every
+// property NewProgram established (labels resolve, per-instruction resource
+// budgets, LMEM/XTXN window bounds) against the program's *current* state —
+// catching post-construction mutation — and adds the control-flow checks
+// only a whole-program analysis can make:
+//
+//   - no instruction that can fall through (or call) sits at the end of the
+//     program, so ErrFellOff becomes a compile-time error;
+//   - the call graph is acyclic and its longest chain fits in MaxCallDepth
+//     frames, so ErrCallDepth becomes a compile-time error.
+//
+// Compile runs Verify before lowering; a verified program cannot misbranch,
+// fall off the end, or overflow the call stack at run time.
+func Verify(p *Program) error {
+	if p == nil || len(p.Instrs) == 0 {
+		return fmt.Errorf("microcode: verify: empty program")
+	}
+	// Rebuild the label index from the instructions themselves and insist the
+	// program's linked map agrees: a mutated label or branch target must not
+	// ride on a stale map (the silent-misbranch bug class).
+	labels := make(map[string]int, len(p.Instrs))
+	for i, in := range p.Instrs {
+		if in.Label == "" {
+			return fmt.Errorf("microcode: verify: instruction %d has no label", i)
+		}
+		if _, dup := labels[in.Label]; dup {
+			return fmt.Errorf("microcode: verify: duplicate label %q", in.Label)
+		}
+		labels[in.Label] = i
+	}
+	if len(labels) != len(p.labels) {
+		return fmt.Errorf("microcode: verify: label map out of sync with instructions (program mutated after NewProgram)")
+	}
+	for l, i := range labels {
+		if j, ok := p.labels[l]; !ok || j != i {
+			return fmt.Errorf("microcode: verify: label map out of sync at %q (program mutated after NewProgram)", l)
+		}
+	}
+
+	last := len(p.Instrs) - 1
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		// Budgets, operand bounds, XTXN windows, and action target resolution
+		// (now known to be against a consistent label map).
+		if err := p.validate(in); err != nil {
+			return fmt.Errorf("microcode: verify: instruction %q: %w", in.Label, err)
+		}
+		// Fall-off-the-end: a fallthrough at the last instruction runs past
+		// the program; a call there would return past it.
+		for _, a := range actions(in) {
+			if i == last && a.Kind == ActFallthrough {
+				return fmt.Errorf("microcode: verify: %q falls through past the end of the program", in.Label)
+			}
+			if i == last && a.Kind == ActCall {
+				return fmt.Errorf("microcode: verify: %q calls at the last instruction; the return would run past the end", in.Label)
+			}
+		}
+	}
+
+	return checkCallDepth(p, labels)
+}
+
+// actions lists every sequencing outcome an instruction can take.
+func actions(in *Instruction) []Action {
+	out := make([]Action, 0, len(in.Br.Cases)+1)
+	for _, bc := range in.Br.Cases {
+		out = append(out, bc.Act)
+	}
+	return append(out, in.Br.Default)
+}
+
+// checkCallDepth builds the static call graph — one node per call-target
+// label, edges from the calls reachable inside each subroutine body — and
+// rejects recursion or any chain deeper than MaxCallDepth.
+func checkCallDepth(p *Program, labels map[string]int) error {
+	// Collect every call target in the program.
+	targets := map[int]bool{}
+	for i := range p.Instrs {
+		for _, a := range actions(&p.Instrs[i]) {
+			if a.Kind == ActCall {
+				targets[labels[a.Target]] = true
+			}
+		}
+	}
+	if len(targets) == 0 {
+		return nil
+	}
+
+	// callees(entry): the set of call targets reachable from entry following
+	// goto/fallthrough edges; a call edge continues past the call site (the
+	// callee returns) and a return/exit ends the walk.
+	callees := func(entry int) []int {
+		seen := make([]bool, len(p.Instrs))
+		var out []int
+		outSeen := map[int]bool{}
+		stack := []int{entry}
+		for len(stack) > 0 {
+			pc := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if pc < 0 || pc >= len(p.Instrs) || seen[pc] {
+				continue
+			}
+			seen[pc] = true
+			for _, a := range actions(&p.Instrs[pc]) {
+				switch a.Kind {
+				case ActGoto:
+					stack = append(stack, labels[a.Target])
+				case ActCall:
+					t := labels[a.Target]
+					if !outSeen[t] {
+						outSeen[t] = true
+						out = append(out, t)
+					}
+					stack = append(stack, pc+1)
+				case ActFallthrough:
+					stack = append(stack, pc+1)
+				}
+			}
+		}
+		return out
+	}
+
+	// Longest-chain DFS with cycle detection over the call graph.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[int]int{}
+	depth := map[int]int{}
+	var visit func(f int) error
+	visit = func(f int) error {
+		switch color[f] {
+		case grey:
+			return fmt.Errorf("microcode: verify: recursive call chain through %q", p.Instrs[f].Label)
+		case black:
+			return nil
+		}
+		color[f] = grey
+		max := 0
+		for _, g := range callees(f) {
+			if err := visit(g); err != nil {
+				return err
+			}
+			if depth[g] > max {
+				max = depth[g]
+			}
+		}
+		color[f] = black
+		depth[f] = 1 + max
+		return nil
+	}
+	// Deterministic traversal order for stable error messages.
+	order := make([]int, 0, len(targets))
+	for t := range targets {
+		order = append(order, t)
+	}
+	sort.Ints(order)
+	for _, t := range order {
+		if err := visit(t); err != nil {
+			return err
+		}
+		if depth[t] > MaxCallDepth {
+			return fmt.Errorf("microcode: verify: call chain through %q needs %d frames, exceeds %d", p.Instrs[t].Label, depth[t], MaxCallDepth)
+		}
+	}
+	return nil
+}

@@ -330,20 +330,63 @@ func (e mcEnv) HashDelete(now sim.Time, key uint64) (bool, sim.Time) {
 // label ("" means the program's first instruction). Setup, when non-nil,
 // initializes thread registers from the packet (the dispatcher's metadata
 // hand-off, e.g. r1 = packet length).
+//
+// Packets dispatch through the compiled v2 pipeline: the first Process call
+// compiles (and statically verifies) Program, and every thread then runs on
+// microcode.RunCompiled. Set Interpret to force the reference interpreter —
+// for benchmarking it, or for programs the verifier rejects (which the
+// interpreter still executes under its run-time guards).
 type MicrocodeApp struct {
 	Program    *microcode.Program
 	Entry      string
 	EgressPort int
 	Setup      func(th *microcode.Thread, ctx *Ctx)
 
+	// Interpret forces the reference tree-walking interpreter.
+	Interpret bool
+
 	// Errors counts threads that terminated abnormally (budget, bad label,
 	// run-time fault); LastError records the most recent cause.
 	Errors    uint64
 	LastError error
+
+	compiled    *microcode.Compiled
+	compileDone bool
 }
+
+// Compile eagerly lowers the app's program through the verify/compile
+// pipeline, returning the verifier's objection if it has one. Installers
+// call it to surface bad programs at install time instead of per packet.
+func (m *MicrocodeApp) Compile() error {
+	if m.compileDone {
+		if m.compiled == nil {
+			return m.LastError
+		}
+		return nil
+	}
+	m.compileDone = true
+	c, err := microcode.Compile(m.Program)
+	if err != nil {
+		m.LastError = err
+		return err
+	}
+	m.compiled = c
+	return nil
+}
+
+// Compiled returns the lowered program, or nil if compilation has not
+// happened or failed.
+func (m *MicrocodeApp) Compiled() *microcode.Compiled { return m.compiled }
 
 // Process implements App.
 func (m *MicrocodeApp) Process(ctx *Ctx) {
+	if !m.Interpret && !m.compileDone {
+		// Lazy path for apps installed without Compile: a verifier-rejected
+		// program falls back to the interpreter (and records why).
+		if err := m.Compile(); err != nil {
+			m.LastError = err
+		}
+	}
 	th := microcode.NewThread(mcEnv{ctx}, ctx.now)
 	th.LoadHead(ctx.head)
 	if m.Setup != nil {
@@ -354,7 +397,13 @@ func (m *MicrocodeApp) Process(ctx *Ctx) {
 		entry = m.Program.Instrs[0].Label
 	}
 	timing := microcode.Timing{CycleTime: ctx.pfe.Cfg.CycleTime, CyclesPerInstr: ctx.pfe.Cfg.CyclesPerInst}
-	v, err := microcode.RunLimited(m.Program, th, entry, timing, microcode.DefaultBudget)
+	var v microcode.Verdict
+	var err error
+	if m.compiled != nil && !m.Interpret {
+		v, err = microcode.RunCompiledLimited(m.compiled, th, entry, timing, microcode.DefaultBudget)
+	} else {
+		v, err = microcode.RunLimited(m.Program, th, entry, timing, microcode.DefaultBudget)
+	}
 	ctx.now = th.Now
 	ctx.stats.Instructions += th.Stats.Instructions
 	ctx.stats.XTXNs += th.Stats.XTXNs

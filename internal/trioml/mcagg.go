@@ -2,6 +2,7 @@ package trioml
 
 import (
 	"fmt"
+	"strings"
 
 	"github.com/trioml/triogo/internal/microcode"
 	"github.com/trioml/triogo/internal/trio/pfe"
@@ -23,8 +24,8 @@ import (
 // and a single forwarded Result instead of multicast. The production
 // semantics live in the native Aggregator; this program demonstrates that
 // the ISA suffices for the paper's application at the instruction count
-// §6.3 reports (≈60 static instructions; this assembles to 54 including
-// the result-build loop).
+// §6.3 reports (≈60 static instructions; this assembles to 53 at Unroll=1
+// including the result-build loop).
 
 // MCAggGrads is the default gradients-per-packet of the Microcode
 // aggregator.
@@ -47,6 +48,41 @@ type MCAggConfig struct {
 	Sources int // contributors per block (≥ 2)
 	Slots   int // record/buffer pool size, power of two
 	Grads   int // gradients per packet: multiple of 16, 16..1024; default MCAggGrads
+	// Unroll replicates the gradient-add body so each loop-control
+	// instruction pays for Unroll gradients: 1 (default), 2, 4, 8, or 16.
+	// Higher unroll trades static instructions for fewer run-time
+	// instructions per gradient — the axis progdse explores.
+	Unroll int
+}
+
+// withDefaults fills zero-valued knobs.
+func (cfg MCAggConfig) withDefaults() MCAggConfig {
+	if cfg.Grads == 0 {
+		cfg.Grads = MCAggGrads
+	}
+	if cfg.Unroll == 0 {
+		cfg.Unroll = 1
+	}
+	return cfg
+}
+
+// check validates a defaulted configuration.
+func (cfg MCAggConfig) check() error {
+	if cfg.Sources < 2 || cfg.Sources > 63 {
+		return fmt.Errorf("trioml: mcagg needs 2..63 sources, got %d", cfg.Sources)
+	}
+	if cfg.Slots <= 0 || cfg.Slots&(cfg.Slots-1) != 0 {
+		return fmt.Errorf("trioml: mcagg slots must be a power of two, got %d", cfg.Slots)
+	}
+	if cfg.Grads%16 != 0 || cfg.Grads < 16 || cfg.Grads > 1024 {
+		return fmt.Errorf("trioml: mcagg gradients must be a multiple of 16 in 16..1024, got %d", cfg.Grads)
+	}
+	switch cfg.Unroll {
+	case 1, 2, 4, 8, 16:
+	default:
+		return fmt.Errorf("trioml: mcagg unroll must be 1, 2, 4, 8 or 16, got %d", cfg.Unroll)
+	}
+	return nil
 }
 
 // MCAgg is an installed Microcode aggregator.
@@ -268,37 +304,18 @@ begin
     goto chunk_next;
 end
 
-// Later contributors read-modify-write the chunk through staging.
+// Later contributors read-modify-write the chunk through staging. The
+// mem_read's address operand is read in the XTXN phase after the moves,
+// but the moves leave buf alone, so staging setup rides along for free.
 add_init:
 begin
     mem_read(buf, 64, 448);
     ptr_b = 448;
-    goto add_init2;
-end
-
-add_init2:
-begin
-    lane = 16;
+    lane  = 16;
     goto add_loop;
 end
 
-add_loop:
-begin
-    lmem32[ptr_b] = lmem32[ptr_b] + lmem32[ptr_s];
-    ptr_s = ptr_s + 4;
-    goto add_ctl;
-end
-
-add_ctl:
-begin
-    // Moves execute unconditionally; the condition reads pre-decrement
-    // state, so "lane != 1" continues exactly while iterations remain.
-    lane  = lane - 1;
-    ptr_b = ptr_b + 4;
-    if (lane != 1) { goto add_loop; }
-    goto add_wb;
-end
-
+%s
 add_wb:
 begin
     mem_write(buf, 64, 448);
@@ -464,35 +481,79 @@ begin
     lmem8[49] = NSRC;      // src_cnt
     exit(forward);
 end
-`, cfg.Sources, cfg.Slots-1, recBase, bufBase, 4*cfg.Grads, cfg.Grads/16-1)
+`, cfg.Sources, cfg.Slots-1, recBase, bufBase, 4*cfg.Grads, cfg.Grads/16-1,
+		mcaggAddLoop(cfg.Unroll))
+}
+
+// mcaggAddLoop renders the gradient-add loop body unrolled u ways. Each
+// body instruction is one fused 32-bit read-modify-write on the staged
+// chunk; the last body instruction also advances the source pointer, and
+// one control instruction per pass retires u lanes. Conditions read
+// pre-decrement state, so "lane != u" continues exactly while passes
+// remain; u = 1 reproduces the classic two-instruction loop.
+func mcaggAddLoop(u int) string {
+	var b strings.Builder
+	for j := 0; j < u; j++ {
+		label := "add_loop"
+		if j > 0 {
+			label = fmt.Sprintf("add_u%d", j)
+		}
+		next := "add_ctl"
+		if j < u-1 {
+			next = fmt.Sprintf("add_u%d", j+1)
+		}
+		fmt.Fprintf(&b, "%s:\nbegin\n", label)
+		if j == 0 {
+			b.WriteString("    lmem32[ptr_b] = lmem32[ptr_b] + lmem32[ptr_s];\n")
+		} else {
+			fmt.Fprintf(&b, "    lmem32[ptr_b + %d] = lmem32[ptr_b + %d] + lmem32[ptr_s + %d];\n", 4*j, 4*j, 4*j)
+		}
+		if j == u-1 {
+			fmt.Fprintf(&b, "    ptr_s = ptr_s + %d;\n", 4*u)
+		}
+		fmt.Fprintf(&b, "    goto %s;\nend\n\n", next)
+	}
+	fmt.Fprintf(&b, "add_ctl:\nbegin\n    lane  = lane - %d;\n    ptr_b = ptr_b + %d;\n    if (lane != %d) { goto add_loop; }\n    goto add_wb;\nend\n", u, 4*u, u)
+	return b.String()
+}
+
+// MCAggProgram assembles the Microcode aggregation program for cfg against
+// the given record/buffer pool bases. Exported so the dispatch benchmark
+// and program-level DSE can build variants without provisioning a PFE.
+func MCAggProgram(cfg MCAggConfig, recBase, bufBase uint64) (*microcode.Program, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.check(); err != nil {
+		return nil, err
+	}
+	prog, err := microcode.Assemble(mcaggSource(cfg, recBase, bufBase))
+	if err != nil {
+		return nil, fmt.Errorf("trioml: assembling mcagg: %w", err)
+	}
+	return prog, nil
 }
 
 // InstallMCAgg provisions the record and buffer pools in p's shared memory,
-// assembles the Microcode aggregation program for cfg, and installs it as
-// p's application. Results egress on egressPort.
+// assembles the Microcode aggregation program for cfg, compiles it through
+// the v2 verify/compile pipeline, and installs it as p's application.
+// Results egress on egressPort.
 func InstallMCAgg(p *pfe.PFE, cfg MCAggConfig, egressPort int) (*MCAgg, error) {
-	if cfg.Grads == 0 {
-		cfg.Grads = MCAggGrads
-	}
-	if cfg.Sources < 2 || cfg.Sources > 63 {
-		return nil, fmt.Errorf("trioml: mcagg needs 2..63 sources, got %d", cfg.Sources)
-	}
-	if cfg.Slots <= 0 || cfg.Slots&(cfg.Slots-1) != 0 {
-		return nil, fmt.Errorf("trioml: mcagg slots must be a power of two, got %d", cfg.Slots)
-	}
-	if cfg.Grads%16 != 0 || cfg.Grads < 16 || cfg.Grads > 1024 {
-		return nil, fmt.Errorf("trioml: mcagg gradients must be a multiple of 16 in 16..1024, got %d", cfg.Grads)
+	cfg = cfg.withDefaults()
+	if err := cfg.check(); err != nil {
+		return nil, err
 	}
 	if p.Cfg.HeadBytes != mcHeadLen {
 		return nil, fmt.Errorf("trioml: mcagg is compiled for %d-byte heads, PFE uses %d", mcHeadLen, p.Cfg.HeadBytes)
 	}
 	recBase := p.Mem.Alloc(smem.TierSRAM, uint64(cfg.Slots)*64)
 	bufBase := p.Mem.Alloc(smem.TierDRAM, uint64(cfg.Slots)*4*uint64(cfg.Grads))
-	prog, err := microcode.Assemble(mcaggSource(cfg, recBase, bufBase))
+	prog, err := MCAggProgram(cfg, recBase, bufBase)
 	if err != nil {
-		return nil, fmt.Errorf("trioml: assembling mcagg: %w", err)
+		return nil, err
 	}
 	app := &pfe.MicrocodeApp{Program: prog, Entry: "parse", EgressPort: egressPort}
+	if err := app.Compile(); err != nil {
+		return nil, fmt.Errorf("trioml: compiling mcagg: %w", err)
+	}
 	p.SetApp(app)
 	return &MCAgg{App: app, Program: prog, RecBase: recBase, BufBase: bufBase, cfg: cfg}, nil
 }

@@ -1,0 +1,73 @@
+package trioml
+
+// Analytic cost model for the Microcode aggregation program — the cheap
+// first fidelity of program-level DSE. The formulas mirror mcaggSource
+// block by block, so they predict Thread.Stats exactly (the conformance
+// test pins them against measured counts); progdse prunes candidate
+// configurations on this model before spending full-sim trials.
+
+// MCAggCost summarizes the static and per-packet dynamic cost of one
+// mcagg configuration.
+type MCAggCost struct {
+	// StaticInstructions is the assembled program length (52 + Unroll).
+	StaticInstructions int
+	// InstrFirstPacket / InstrOtherPacket / InstrFinalPacket are run-time
+	// instruction counts for the block's first contributor (writes chunks
+	// straight through), a middle contributor (read-modify-write loop),
+	// and the final contributor (middle cost plus the result-build loop).
+	InstrFirstPacket int
+	InstrOtherPacket int
+	InstrFinalPacket int
+	// InstrPerGrad amortizes one whole block — first + middle + final
+	// contributors — over the Sources*Grads gradient contributions it
+	// aggregates. §6.3 reports ≈1.2 for the hand-scheduled production
+	// program; the unrolled generator approaches it from above.
+	InstrPerGrad float64
+	// XTXNsOtherPacket counts external transactions a middle contributor
+	// issues (record read/write plus two per chunk for the RMW, plus tail
+	// reads past the head).
+	XTXNsOtherPacket int
+	// SRAMBytes / DRAMBytes are the provisioned pool footprints.
+	SRAMBytes uint64
+	DRAMBytes uint64
+}
+
+// Cost evaluates the analytic model for cfg (defaults applied; an invalid
+// configuration yields the zero cost — check separately via MCAggProgram).
+func (cfg MCAggConfig) Cost() MCAggCost {
+	cfg = cfg.withDefaults()
+	if cfg.check() != nil {
+		return MCAggCost{}
+	}
+	c := cfg.Grads / 16 // 64-byte chunks per block
+	u := cfg.Unroll
+	head := min(c, 2)   // chunks resolved in the packet head
+	tail := max(c-2, 0) // straddle + pure-tail chunks (2-instr dispatch)
+	dispatch := head + 2*tail
+
+	// Prologue: parse..check_rec2 (7) + dedup..branch_first (5) +
+	// chunk_init (1); the first contributor also runs init_rec, init_rec2
+	// and set_first. Epilogue: write_rec + complete_check.
+	first := 16 + 3*c + dispatch + 2
+	// Middle contributor chunk: chunk_top + dispatch + add_init + the add
+	// loop ((16/u) passes of u bodies + control) + add_wb + chunk_next.
+	other := 15 + c*(20+16/u) + dispatch
+	// Final contributor: middle cost plus res_init/res_init2, a result
+	// chunk (res_top + res_sel + body + res_next; head chunks copy 64
+	// bytes in 4 instructions, straddle/tail in 2) and the slot release.
+	final := other + 2 + 3*c + 4*head + 2*tail + 3
+
+	blockInstr := first + (cfg.Sources-2)*other + final
+	grads := cfg.Sources * cfg.Grads
+
+	return MCAggCost{
+		StaticInstructions: 52 + u,
+		InstrFirstPacket:   first,
+		InstrOtherPacket:   other,
+		InstrFinalPacket:   final,
+		InstrPerGrad:       float64(blockInstr) / float64(grads),
+		XTXNsOtherPacket:   2 + 2*c + tail,
+		SRAMBytes:          uint64(cfg.Slots) * 64,
+		DRAMBytes:          uint64(cfg.Slots) * 4 * uint64(cfg.Grads),
+	}
+}

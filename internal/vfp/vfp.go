@@ -53,10 +53,11 @@ type Stats struct {
 
 // VFP is a running virtual forwarding plane.
 type VFP struct {
-	cfg  Config
-	conn *net.UDPConn
-	out  *net.UDPConn
-	log  *slog.Logger
+	cfg      Config
+	compiled *microcode.Compiled
+	conn     *net.UDPConn
+	out      *net.UDPConn
+	log      *slog.Logger
 
 	// The software engine state mirrors a PFE's: shared memory and hash
 	// engine instances shared by all packet threads, guarded by a mutex
@@ -71,10 +72,16 @@ type VFP struct {
 	stopped sync.WaitGroup
 }
 
-// New starts a VFP.
+// New starts a VFP. The program is lowered through the v2 compile/verify
+// pipeline up front, so a program the static verifier rejects never
+// reaches live traffic.
 func New(cfg Config) (*VFP, error) {
 	if cfg.Program == nil {
 		return nil, fmt.Errorf("vfp: no program")
+	}
+	compiled, err := microcode.Compile(cfg.Program)
+	if err != nil {
+		return nil, fmt.Errorf("vfp: compile: %w", err)
 	}
 	if cfg.HeadBytes == 0 {
 		cfg.HeadBytes = 192
@@ -91,7 +98,7 @@ func New(cfg Config) (*VFP, error) {
 		return nil, fmt.Errorf("vfp: listen: %w", err)
 	}
 	v := &VFP{
-		cfg: cfg, conn: conn, log: cfg.Logger,
+		cfg: cfg, compiled: compiled, conn: conn, log: cfg.Logger,
 		Mem:    smem.New(smem.Config{}),
 		Hash:   hasheng.NewTable(hasheng.Config{}),
 		closed: make(chan struct{}),
@@ -185,7 +192,7 @@ func (v *VFP) handle(payload []byte, from, local *net.UDPAddr) {
 	} else {
 		th.Regs[1] = uint64(len(frame))
 	}
-	verdict, err := microcode.Run(v.cfg.Program, th, v.entry())
+	verdict, err := microcode.RunCompiled(v.compiled, th, v.entry())
 	if err == nil {
 		copy(frame, th.LMem[:hl]) // unload the possibly-rewritten head
 	}

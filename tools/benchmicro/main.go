@@ -1,0 +1,91 @@
+// Command benchmicro turns `go test -bench BenchmarkMicrocodeDispatch`
+// output into BENCH_microcode.json: interpreter vs compiled dispatch
+// throughput on the mcagg workload, with the speedup ratio computed. Run it
+// via `make bench-microcode`.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type report struct {
+	Description string                        `json:"description"`
+	Benchmarks  map[string]map[string]float64 `json:"benchmarks"`
+
+	// DispatchSpeedupRatio is compiled instrs/s over interpreter instrs/s on
+	// the same workload. The v2 pipeline's acceptance bar is >= 2.0.
+	DispatchSpeedupRatio float64 `json:"dispatch_speedup_ratio"`
+	NsPerPacketInterp    float64 `json:"ns_per_packet_interpreter"`
+	NsPerPacketCompiled  float64 `json:"ns_per_packet_compiled"`
+}
+
+func parseBench(path string) (map[string]map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]map[string]float64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.SplitN(fields[0], "-", 2)[0] // strip -cpu suffix
+		m := make(map[string]float64)
+		// fields[1] is the iteration count; the rest are value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			m[fields[i+1]] = v
+		}
+		out[name] = m
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	in := flag.String("in", "", "go test -bench output to parse")
+	outPath := flag.String("out", "BENCH_microcode.json", "JSON report to write")
+	flag.Parse()
+
+	cur, err := parseBench(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchmicro:", err)
+		os.Exit(1)
+	}
+	o := report{
+		Description: "microcode v2 dispatch: reference interpreter vs compiled pipeline on the mcagg 1024-gradient workload (make bench-microcode)",
+		Benchmarks:  cur,
+	}
+	interp := cur["BenchmarkMicrocodeDispatch/interpreter"]
+	comp := cur["BenchmarkMicrocodeDispatch/compiled"]
+	if interp == nil || comp == nil {
+		fmt.Fprintln(os.Stderr, "benchmicro: missing interpreter/compiled arms in", *in)
+		os.Exit(1)
+	}
+	if iv, cv := interp["instrs/s"], comp["instrs/s"]; iv > 0 {
+		o.DispatchSpeedupRatio = cv / iv
+	}
+	o.NsPerPacketInterp = interp["ns/op"]
+	o.NsPerPacketCompiled = comp["ns/op"]
+	buf, err := json.MarshalIndent(o, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchmicro:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*outPath, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchmicro:", err)
+		os.Exit(1)
+	}
+}

@@ -1,8 +1,8 @@
 // Command obscheck verifies that OBSERVABILITY.md and the code agree in
 // both directions. It instantiates each instrumented subsystem (sim engine,
 // PFE + shared memory, hostagg server on a loopback socket, fault plan, dse
-// executor), registers them all into one obs.Registry, and fails if any
-// registered metric name is missing from the document — or if the document
+// executor, microcode pipeline), registers them all into one obs.Registry,
+// and fails if any registered metric name is missing from the document — or if the document
 // names a `triogo_*` metric no subsystem registers (a stale doc entry).
 // Run by `make verify`.
 package main
@@ -17,6 +17,7 @@ import (
 	"github.com/trioml/triogo/internal/dse"
 	"github.com/trioml/triogo/internal/faults"
 	"github.com/trioml/triogo/internal/hostagg"
+	"github.com/trioml/triogo/internal/microcode"
 	"github.com/trioml/triogo/internal/obs"
 	"github.com/trioml/triogo/internal/sim"
 	"github.com/trioml/triogo/internal/trio/pfe"
@@ -58,6 +59,8 @@ func main() {
 	faults.NewPlan(1, faults.Config{}).RegisterObs(reg)
 
 	(&dse.Executor{}).RegisterObs(reg)
+
+	microcode.RegisterObs(reg)
 
 	names := reg.Names()
 	registered := make(map[string]bool, len(names))
