@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet verify verify-hostagg verify-vfp verify-obs verify-faults verify-dse verify-sim verify-microcode chaos smoke-examples bench-hostagg bench-sim bench-dse bench-microcode
+.PHONY: build test vet verify verify-hostagg verify-vfp verify-obs verify-faults verify-dse verify-sim verify-microcode verify-tree chaos smoke-examples bench-hostagg bench-sim bench-dse bench-microcode
 
 build:
 	$(GO) build ./...
@@ -13,9 +13,10 @@ vet:
 
 # verify is the tier-1 gate: full build + tests, whole-repo vet, then the
 # race suites of the concurrency-critical layers (hostagg's sharded hot
-# path, vfp's host datapath, obs's atomic instruments, dse's worker pool),
-# the metric documentation check, and an every-example smoke run.
-verify: build test vet verify-hostagg verify-vfp verify-obs verify-faults verify-dse verify-sim verify-microcode smoke-examples
+# path, vfp's host datapath, obs's atomic instruments, dse's worker pool,
+# tree's partitioned hierarchy), the metric documentation check, and an
+# every-example smoke run.
+verify: build test vet verify-hostagg verify-vfp verify-obs verify-faults verify-dse verify-sim verify-microcode verify-tree smoke-examples
 
 verify-hostagg:
 	$(GO) test -race ./internal/hostagg/...
@@ -40,6 +41,15 @@ verify-vfp:
 verify-sim:
 	$(GO) test -race -run 'TestCluster' ./internal/sim/
 	$(GO) test -race -run 'TestCrossPartitionDeterminism|TestLinkBetween' ./internal/harness/ ./internal/netsim/
+
+# verify-tree races the multi-rack hierarchical aggregation package (composed
+# straggler semantics, gen-restart recovery, rack failure) and the harness's
+# tree determinism pins: the tree sweep and treechaos tables must render
+# byte-identically at any partition count, and treechaos must match its
+# golden capture.
+verify-tree:
+	$(GO) test -race ./internal/tree/
+	$(GO) test -race -run 'TestTree|TestGoldenTreeChaos' ./internal/harness/
 
 # verify-dse races the sweep executor/store and the parallel-vs-serial
 # determinism tests in the harness.

@@ -14,6 +14,12 @@
 // subsystem (internal/faults) across fault families and rates, reporting
 // recovery time, goodput, and bit-exactness against a fault-free oracle;
 // it exits non-zero if recovery exceeds the §5 bound or any sum diverges.
+// -exp tree sweeps multi-rack hierarchical aggregation trees (internal/tree)
+// from the paper's six-worker testbed to 10^5 simulated workers (10^6 with
+// -full), verifying every accepted sum bit-exact against the closed-form
+// expectation; -exp treechaos drives the composed straggler semantics —
+// straggler worker, flapping rack uplink, dead rack — and exits non-zero if
+// recovery exceeds the composed expiry bound or any accepted sum diverges.
 // -exp dse runs the design-space exploration sweep (internal/dse); -parallel
 // spreads its trials — and every other migrated sweep — over a worker pool
 // without changing a single output byte. -partitions P splits each rig's

@@ -1,0 +1,43 @@
+package tree
+
+// Placement is a topology-aware assignment of a tree onto sim.Cluster
+// partitions: every spine level lives on partition 0 and each rack subtree
+// (the ToR router plus its workers and their links) owns — or round-robin
+// shares — one of the remaining partitions. Only the ToR↔spine uplinks
+// cross partitions, so the conservative lookahead stays the inter-rack
+// cable propagation and all intra-rack traffic (the overwhelming majority
+// at datacenter fan-ins) never pays a synchronization barrier.
+type Placement struct {
+	Partitions int   // effective partition count; 1 collapses to a single engine
+	racks      []int // rack index -> partition
+}
+
+// AutoPlace computes the placement for `racks` rack subtrees under a
+// requested partition budget. The request is clamped to racks+1 (more
+// partitions than subtrees would idle) and to a floor of 1; with fewer
+// partitions than racks, subtrees share round-robin. Requests <= 1 place
+// everything on one engine, as does a single-rack tree: its ToR is the
+// root, so there are no inter-router links to cross a partition boundary
+// and nothing to register a conservative lookahead against.
+func AutoPlace(racks, requested int) Placement {
+	if requested <= 1 || racks < 2 {
+		return Placement{Partitions: 1}
+	}
+	p := requested
+	if p > racks+1 {
+		p = racks + 1
+	}
+	pl := Placement{Partitions: p, racks: make([]int, racks)}
+	for r := range pl.racks {
+		pl.racks[r] = 1 + r%(p-1)
+	}
+	return pl
+}
+
+// Rack returns rack r's partition (0 when unpartitioned).
+func (p Placement) Rack(r int) int {
+	if p.Partitions <= 1 {
+		return 0
+	}
+	return p.racks[r]
+}

@@ -120,6 +120,15 @@ type Aggregator struct {
 	pfe  *pfe.PFE
 	jobs map[uint8]*jobState
 
+	// LevelCode is the age_op value this aggregator stamps on results it
+	// degrades by aging (straggler timeout). Zero behaves as 1, the flat
+	// single-router value. Hierarchical trees (internal/tree) assign
+	// level+1 so a receiver can tell WHICH level of the tree timed out: 1
+	// means a leaf ToR aged waiting on a worker, >= 2 means a spine aged
+	// waiting on a whole rack subtree — the signal workers use to
+	// distinguish "accept the partial" from "gen-restart the block".
+	LevelCode uint8
+
 	stats Stats
 
 	// Fallback handles non-aggregation traffic; nil drops it.
@@ -333,6 +342,7 @@ func (a *Aggregator) Process(ctx *pfe.Ctx) {
 			rec.GenID = h.GenID
 			rec.RcvdCnt = 0
 			rec.RcvdMask = [4]uint64{}
+			rec.AggAgeOp = 0
 			rec.GradCnt = h.GradCnt
 			rec.BlockStartTime = ctx.Now()
 			creating = true
@@ -405,6 +415,14 @@ func (a *Aggregator) Process(ctx *pfe.Ctx) {
 		a.stats.NonAggPkts++
 		ctx.Drop()
 		return
+	}
+
+	// Straggler provenance: a lower-level aggregator's partial carries the
+	// age_op of the level that timed out; the block remembers the highest
+	// so the result it eventually emits preserves where in the tree the
+	// degradation originated.
+	if h.AgeOp > rec.AggAgeOp {
+		rec.AggAgeOp = h.AgeOp
 	}
 
 	// Aggregate this packet's gradients into the block buffer: phase one
@@ -548,6 +566,22 @@ func (a *Aggregator) finishBlock(ctx *pfe.Ctx, js *jobState, blockKey uint64, re
 	a.res = grads
 	ctx.ChargeInstr(instrResultHeader)
 
+	// Compose the degradation provenance: aging HERE stamps this
+	// aggregator's level code; a block whose contributions were already
+	// partial (a lower level aged) keeps the highest level seen. Either
+	// way the result is marked degraded so receivers know the sum is not
+	// the full fan-in, exactly as in the flat §5 protocol when
+	// LevelCode is unset.
+	ageOp := rec.AggAgeOp
+	if degraded {
+		lc := a.LevelCode
+		if lc == 0 {
+			lc = 1
+		}
+		if lc > ageOp {
+			ageOp = lc
+		}
+	}
 	_, blockID := SplitKey(blockKey)
 	hdr := packet.TrioML{
 		JobID:    js.cfg.JobID,
@@ -555,17 +589,14 @@ func (a *Aggregator) finishBlock(ctx *pfe.Ctx, js *jobState, blockKey uint64, re
 		GenID:    rec.GenID,
 		SrcCnt:   rec.RcvdCnt,
 		GradCnt:  rec.GradCnt,
-		Degraded: degraded,
-	}
-	if degraded {
-		hdr.AgeOp = 1
+		Degraded: degraded || ageOp > 0,
+		AgeOp:    ageOp,
 	}
 	spec := js.cfg.ResultSpec
 	var frame []byte
 	if js.cfg.UpstreamPort >= 0 {
 		// Hierarchical first level: contribute upward as one source.
 		hdr.SrcID = js.cfg.UpstreamSrcID
-		hdr.Degraded = degraded
 		frame = packet.BuildTrioML(spec, hdr, grads)
 		ctx.Emit(js.cfg.UpstreamPort, frame)
 	} else {

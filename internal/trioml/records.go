@@ -55,14 +55,19 @@ var jobLayout = bitfield.NewLayout(
 // blockLayout is trio_ml_block_ctx_t (Fig. 18): 58 bytes. The paper leaves a
 // 24-bit alignment hole before rcvd_cnt; this implementation names 16 bits
 // of it gen_id so a block record can distinguish consecutive iterations
-// (the packet header's gen_id field exists for exactly this purpose, §4).
+// (the packet header's gen_id field exists for exactly this purpose, §4),
+// and 4 bits of the hole before grad_cnt agg_age_op: the highest age_op
+// carried by any contribution aggregated into the block, so hierarchical
+// levels can propagate straggler provenance upward (which level of the tree
+// aged out) without growing the record.
 var blockLayout = bitfield.NewLayout(
 	bitfield.Field{Name: "block_exp", Width: 8},
 	bitfield.Field{Name: "block_age", Width: 8},
 	bitfield.Field{Name: "block_start_time", Width: 64},
 	bitfield.Field{Name: "job_ctx_paddr", Width: 32},
 	bitfield.Field{Name: "aggr_paddr", Width: 32},
-	bitfield.Field{Name: "", Width: 20},
+	bitfield.Field{Name: "", Width: 16},
+	bitfield.Field{Name: "agg_age_op", Width: 4},
 	bitfield.Field{Name: "grad_cnt", Width: 12},
 	bitfield.Field{Name: "gen_id", Width: 16},
 	bitfield.Field{Name: "", Width: 8},
@@ -101,7 +106,7 @@ var (
 	}
 	blockF = struct {
 		blockExp, blockAge, blockStartTime, jobCtxPAddr, aggrPAddr,
-		gradCnt, genID, rcvdCnt bitfield.Handle
+		aggAgeOp, gradCnt, genID, rcvdCnt bitfield.Handle
 		rcvdMask [4]bitfield.Handle
 	}{
 		blockExp:       blockLayout.Handle("block_exp"),
@@ -109,6 +114,7 @@ var (
 		blockStartTime: blockLayout.Handle("block_start_time"),
 		jobCtxPAddr:    blockLayout.Handle("job_ctx_paddr"),
 		aggrPAddr:      blockLayout.Handle("aggr_paddr"),
+		aggAgeOp:       blockLayout.Handle("agg_age_op"),
 		gradCnt:        blockLayout.Handle("grad_cnt"),
 		genID:          blockLayout.Handle("gen_id"),
 		rcvdCnt:        blockLayout.Handle("rcvd_cnt"),
@@ -175,6 +181,7 @@ type BlockRecord struct {
 	BlockStartTime sim.Time
 	JobCtxPAddr    uint32
 	AggrPAddr      uint32
+	AggAgeOp       uint8  // 4 bits: max age_op over aggregated contributions
 	GradCnt        uint16 // 12 bits
 	GenID          uint16
 	RcvdCnt        uint8
@@ -187,6 +194,7 @@ func (r *BlockRecord) encode(b []byte) {
 	blockF.blockStartTime.Put(b, uint64(r.BlockStartTime))
 	blockF.jobCtxPAddr.Put(b, uint64(r.JobCtxPAddr))
 	blockF.aggrPAddr.Put(b, uint64(r.AggrPAddr))
+	blockF.aggAgeOp.Put(b, uint64(r.AggAgeOp))
 	blockF.gradCnt.Put(b, uint64(r.GradCnt))
 	blockF.genID.Put(b, uint64(r.GenID))
 	blockF.rcvdCnt.Put(b, uint64(r.RcvdCnt))
@@ -202,6 +210,7 @@ func decodeBlock(b []byte) BlockRecord {
 	r.BlockStartTime = sim.Time(blockF.blockStartTime.Get(b))
 	r.JobCtxPAddr = uint32(blockF.jobCtxPAddr.Get(b))
 	r.AggrPAddr = uint32(blockF.aggrPAddr.Get(b))
+	r.AggAgeOp = uint8(blockF.aggAgeOp.Get(b))
 	r.GradCnt = uint16(blockF.gradCnt.Get(b))
 	r.GenID = uint16(blockF.genID.Get(b))
 	r.RcvdCnt = uint8(blockF.rcvdCnt.Get(b))

@@ -1,7 +1,8 @@
 // Command obscheck verifies that OBSERVABILITY.md and the code agree in
 // both directions. It instantiates each instrumented subsystem (sim engine,
 // PFE + shared memory, hostagg server on a loopback socket, fault plan, dse
-// executor, microcode pipeline), registers them all into one obs.Registry,
+// executor, microcode pipeline, a small multi-rack aggregation tree run to
+// completion), registers them all into one obs.Registry,
 // and fails if any registered metric name is missing from the document — or if the document
 // names a `triogo_*` metric no subsystem registers (a stale doc entry).
 // Run by `make verify`.
@@ -20,6 +21,7 @@ import (
 	"github.com/trioml/triogo/internal/microcode"
 	"github.com/trioml/triogo/internal/obs"
 	"github.com/trioml/triogo/internal/sim"
+	"github.com/trioml/triogo/internal/tree"
 	"github.com/trioml/triogo/internal/trio/pfe"
 )
 
@@ -61,6 +63,19 @@ func main() {
 	(&dse.Executor{}).RegisterObs(reg)
 
 	microcode.RegisterObs(reg)
+
+	// A real (tiny) hierarchical tree, run to completion so the per-level
+	// series exist and carry non-trivial values when scraped.
+	tr, err := tree.Build(tree.Config{
+		Spec:   tree.Spec{Racks: 2, WorkersPerRack: 2, FanOut: 2},
+		Blocks: 1, GradsPerPkt: 4,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obscheck: build tree: %v\n", err)
+		os.Exit(1)
+	}
+	tr.Run(sim.Second)
+	tr.RegisterObs(reg)
 
 	names := reg.Names()
 	registered := make(map[string]bool, len(names))
