@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet verify verify-hostagg verify-vfp verify-obs verify-faults verify-dse verify-sim verify-microcode verify-tree chaos smoke-examples bench-hostagg bench-sim bench-dse bench-microcode
+.PHONY: build test vet verify verify-hostagg verify-hostagg-live verify-vfp verify-obs verify-faults verify-dse verify-sim verify-microcode verify-tree chaos smoke-examples bench-hostagg bench-sim bench-dse bench-microcode
 
 build:
 	$(GO) build ./...
@@ -16,10 +16,19 @@ vet:
 # path, vfp's host datapath, obs's atomic instruments, dse's worker pool,
 # tree's partitioned hierarchy), the metric documentation check, and an
 # every-example smoke run.
-verify: build test vet verify-hostagg verify-vfp verify-obs verify-faults verify-dse verify-sim verify-microcode verify-tree smoke-examples
+verify: build test vet verify-hostagg verify-hostagg-live verify-vfp verify-obs verify-faults verify-dse verify-sim verify-microcode verify-tree smoke-examples
 
 verify-hostagg:
 	$(GO) test -race ./internal/hostagg/...
+
+# verify-hostagg-live drives the real UDP server under adversarial tenants:
+# the race-enabled live-wire chaos tests, the seed-1 categorical golden, and
+# a short FuzzHandle run over the checked-in corpus plus fresh inputs.
+verify-hostagg-live:
+	$(GO) test -race -run 'TestLiveChaos|TestGoldenLiveChaos' ./internal/harness/
+	$(GO) run ./cmd/triobench -exp livechaos -seed 1 -quiet | diff -u internal/harness/testdata/golden_livechaos_seed1.txt -
+	@echo "verify-hostagg-live: livechaos table matches golden capture"
+	$(GO) test -fuzz=FuzzHandle -fuzztime=10s -run FuzzHandle ./internal/hostagg/
 
 # verify-faults races the fault-injection plan and the crash/rejoin training
 # clusters that consume it.

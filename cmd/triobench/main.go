@@ -20,6 +20,15 @@
 // expectation; -exp treechaos drives the composed straggler semantics —
 // straggler worker, flapping rack uplink, dead rack — and exits non-zero if
 // recovery exceeds the composed expiry bound or any accepted sum diverges.
+// -exp livechaos is the only experiment that leaves the simulator: it runs
+// the real hostagg UDP server on loopback under adversarial clients —
+// tenant floods, retransmit storms, malformed-datagram storms, slow
+// readers, a server restart mid-allreduce, and an open-block hoarder that
+// drives the overload ladder — and exits non-zero unless a victim tenant
+// keeps >= 90% of its aggressor-free goodput with bit-exact sums and the
+// shed attributed to the aggressor (DESIGN.md §10). Its table cells are
+// categorical (yes/NO/-), so the seed-1 capture golden-pins despite
+// real-socket timing.
 // -exp dse runs the design-space exploration sweep (internal/dse); -parallel
 // spreads its trials — and every other migrated sweep — over a worker pool
 // without changing a single output byte. -partitions P splits each rig's

@@ -16,6 +16,12 @@ import (
 // and exhausted its retry budget. Match with errors.Is.
 var ErrGaveUp = errors.New("gave up after transient network errors")
 
+// ErrShed reports that the server kept refusing this client's contributions
+// with retry-after NACKs — the tenant is over quota or the server is
+// overloaded — which is a policy decision, not network loss. Match with
+// errors.Is to distinguish it from ErrGaveUp.
+var ErrShed = errors.New("shed by server admission control")
+
 // ClientConfig parameterizes a worker client.
 type ClientConfig struct {
 	ServerAddr string // aggregator address, e.g. "127.0.0.1:12000"
@@ -71,6 +77,8 @@ type ClientStats struct {
 	SendRetries uint64 // transient send errors retried with backoff
 	RecvRetries uint64 // transient receive errors retried with backoff
 	Retransmits uint64 // blocks resent by AllReduce's RetransmitEvery timer
+	Nacked      uint64 // retry-after NACKs received from the server
+	Backoffs    uint64 // back-off sleeps AllReduce took in response to NACKs
 }
 
 // Client streams gradient blocks to a hostagg server and collects results.
@@ -80,6 +88,10 @@ type Client struct {
 
 	results chan Result
 	closed  chan struct{}
+
+	// nacks carries retry-after NACKs from recvLoop to AllReduce. Buffered
+	// and sent non-blocking: a NACK storm collapses to "back off now".
+	nacks chan nackSignal
 
 	// failed is closed (after failErr is set) when recvLoop dies on a read
 	// error that was not a local Close; AllReduce surfaces it as an error
@@ -93,8 +105,16 @@ type Client struct {
 	sendRetries atomic.Uint64
 	recvRetries atomic.Uint64
 	retransmits atomic.Uint64
+	nacked      atomic.Uint64
+	backoffs    atomic.Uint64
 
 	stopped sync.WaitGroup
+}
+
+// nackSignal is one decoded retry-after NACK.
+type nackSignal struct {
+	reason uint8
+	millis uint32
 }
 
 // NewClient connects a worker to the aggregation server.
@@ -127,6 +147,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		results: make(chan Result, cfg.ResultBuffer),
 		closed:  make(chan struct{}),
 		failed:  make(chan struct{}),
+		nacks:   make(chan nackSignal, 16),
 	}
 	c.stopped.Add(1)
 	go c.recvLoop()
@@ -154,6 +175,8 @@ func (c *Client) Stats() ClientStats {
 		SendRetries: c.sendRetries.Load(),
 		RecvRetries: c.recvRetries.Load(),
 		Retransmits: c.retransmits.Load(),
+		Nacked:      c.nacked.Load(),
+		Backoffs:    c.backoffs.Load(),
 	}
 }
 
@@ -273,14 +296,47 @@ func (c *Client) AllReduce(genID uint16, grads []int32, blockGrads, numWorkers i
 		defer t.Stop()
 		retx = t.C
 	}
+	nackStreak := 0
 	for len(got) < nBlocks {
 		select {
+		case nk := <-c.nacks:
+			// The server refused a contribution and told us when to come
+			// back. Honor it — keep the send window quiet for the suggested
+			// interval — and give up with ErrShed once the server has done
+			// nothing but refuse for a full retry budget.
+			nackStreak++
+			if nackStreak > c.cfg.MaxRetries {
+				return nil, fmt.Errorf("hostagg: allreduce refused by server (reason %d) for %d consecutive nacks with %d/%d blocks: %w",
+					nk.reason, nackStreak, len(got), nBlocks, ErrShed)
+			}
+			c.backoffs.Add(1)
+			wait := time.Duration(nk.millis) * time.Millisecond
+			if wait <= 0 {
+				wait = c.cfg.RetryCap
+			}
+			if wait > time.Second {
+				wait = time.Second
+			}
+			if !c.sleepBackoff(wait) {
+				return nil, net.ErrClosed
+			}
+			// A burst of NACKs counts once: everything queued while we
+			// slept belongs to the same refusal we just honored.
+		drain:
+			for {
+				select {
+				case <-c.nacks:
+				default:
+					break drain
+				}
+			}
 		case r := <-c.results:
 			if r.GenID != genID || int(r.BlockID) >= nBlocks || got[r.BlockID] {
 				continue
 			}
 			got[r.BlockID] = true
 			inFlight--
+			nackStreak = 0
 			lo := int(r.BlockID) * blockGrads
 			for i, g := range r.Grads {
 				if lo+i >= len(out) {
@@ -360,7 +416,22 @@ func (c *Client) recvLoop() {
 		backoff = c.cfg.RetryBase
 		var h packet.TrioML
 		rest, err := h.Unmarshal(buf[:n])
-		if err != nil || h.SrcID != 0xFF || h.JobID != c.cfg.JobID {
+		if err != nil || h.JobID != c.cfg.JobID {
+			continue
+		}
+		if h.SrcID == packet.CtrlSrcID {
+			var ra packet.RetryAfter
+			if _, err := ra.Unmarshal(rest); err != nil {
+				continue
+			}
+			c.nacked.Add(1)
+			select {
+			case c.nacks <- nackSignal{reason: h.AgeOp, millis: ra.Millis}:
+			default:
+			}
+			continue
+		}
+		if h.SrcID != packet.ResultSrcID {
 			continue
 		}
 		grads, err := packet.Gradients(rest, int(h.GradCnt))

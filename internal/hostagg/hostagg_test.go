@@ -170,12 +170,43 @@ func TestGenerationRestartOnHost(t *testing.T) {
 func TestBadPacketsCounted(t *testing.T) {
 	s := newTestServer(t, 2, 0)
 	c := newTestClient(t, s, 0)
+	// Wire garbage (too short to even decode) is malformed, not a protocol
+	// violation.
 	if _, err := c.conn.Write([]byte{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(100 * time.Millisecond)
-	if s.Stats().BadPackets != 1 {
-		t.Fatalf("stats = %+v", s.Stats())
+	// A well-formed header claiming a source outside the 2-worker fleet is a
+	// protocol-level bad packet.
+	hdr := packet.TrioML{JobID: 1, BlockID: 0, SrcID: 7}
+	buf := make([]byte, packet.TrioMLHeaderLen)
+	hdr.MarshalTo(buf)
+	if _, err := c.conn.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		st := s.Stats()
+		return st.Malformed == 1 && st.BadPackets == 1
+	}, "malformed and bad-packet counters")
+}
+
+func TestOversizedDatagramMalformed(t *testing.T) {
+	s := newTestServer(t, 2, 0)
+	c := newTestClient(t, s, 0)
+	// A valid header whose body carries more bytes than GradCnt accounts
+	// for: the tail would silently vanish in aggregation, so the server
+	// rejects the datagram whole.
+	hdr := packet.TrioML{JobID: 1, BlockID: 3, SrcID: 0, GradCnt: 2}
+	buf := make([]byte, packet.TrioMLHeaderLen+4*2+5)
+	hdr.MarshalTo(buf)
+	if _, err := c.conn.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return s.Stats().Malformed == 1 }, "malformed counter")
+	if st := s.Stats(); st.Packets != 0 || st.BadPackets != 0 {
+		t.Fatalf("oversized datagram leaked past decode: %+v", st)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("oversized datagram opened a block")
 	}
 }
 

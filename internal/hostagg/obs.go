@@ -35,7 +35,7 @@ func (s *Server) RegisterObs(r *obs.Registry) {
 		"Blocks aged out by the scanner and emitted as partial (degraded) results.",
 		func() uint64 { return s.counters.degraded.Load() })
 	counter("triogo_hostagg_bad_packets_total", "packets",
-		"Packets rejected before aggregation (unparseable or invalid source id).",
+		"Well-formed packets rejected for protocol violations (e.g. out-of-range source id).",
 		func() uint64 { return s.counters.badPackets.Load() })
 	counter("triogo_hostagg_gen_restarts_total", "blocks",
 		"Blocks restarted in place by a newer generation reusing the block id.",
@@ -55,10 +55,68 @@ func (s *Server) RegisterObs(r *obs.Registry) {
 	counter("triogo_hostagg_result_replays_total", "results",
 		"Retransmitted contributions answered from the served-result replay cache.",
 		func() uint64 { return s.counters.resultReplays.Load() })
+	counter("triogo_hostagg_malformed_total", "packets",
+		"Datagrams rejected at decode: truncated, oversized, or garbage wire data.",
+		func() uint64 { return s.counters.malformed.Load() })
+	counter("triogo_hostagg_quota_shed_total", "packets",
+		"Block creations refused because the sender tenant exhausted its own quota.",
+		func() uint64 { return s.counters.quotaShed.Load() })
+	counter("triogo_hostagg_rate_shed_total", "packets",
+		"Packets dropped by a tenant's token-bucket packet-rate limit.",
+		func() uint64 { return s.counters.rateShed.Load() })
+	counter("triogo_hostagg_fair_evictions_total", "blocks",
+		"Open blocks displaced by weighted-fair shedding to admit an under-share tenant.",
+		func() uint64 { return s.counters.fairEvictions.Load() })
+	counter("triogo_hostagg_nacks_sent_total", "packets",
+		"Retry-after NACK control packets sent to refused senders.",
+		func() uint64 { return s.counters.nacksSent.Load() })
+	counter("triogo_hostagg_pressure_enters_total", "transitions",
+		"Overload-ladder climbs from normal into pressure or higher.",
+		func() uint64 { return s.counters.pressureEnters.Load() })
+	counter("triogo_hostagg_overload_enters_total", "transitions",
+		"Overload-ladder climbs into the overload rung.",
+		func() uint64 { return s.counters.overloadEnters.Load() })
 	r.GaugeFunc(obs.Desc{
 		Name: "triogo_hostagg_pending_blocks", Unit: "blocks",
 		Help: "Open (partially aggregated) blocks across all shards.",
 	}, func() float64 { return float64(s.Pending()) })
+	r.GaugeFunc(obs.Desc{
+		Name: "triogo_hostagg_overload_state", Unit: "state",
+		Help: "Current overload-ladder rung: 0 normal, 1 pressure, 2 overload.",
+	}, func() float64 { return float64(s.overload.Load()) })
+
+	for _, tn := range s.tenants.configured() {
+		tn := tn
+		l := fmt.Sprintf("tenant=\"%d\"", tn.id)
+		r.GaugeFunc(obs.Desc{
+			Name: "triogo_hostagg_tenant_open_blocks", Unit: "blocks", Labels: l,
+			Help: "Open blocks currently charged to this tenant.",
+		}, func() float64 { return float64(tn.open.Load()) })
+		r.GaugeFunc(obs.Desc{
+			Name: "triogo_hostagg_tenant_bytes_in_flight", Unit: "bytes", Labels: l,
+			Help: "Gradient bytes of this tenant's open blocks.",
+		}, func() float64 { return float64(tn.bytes.Load()) })
+		r.CounterFunc(obs.Desc{
+			Name: "triogo_hostagg_tenant_packets_total", Unit: "packets", Labels: l,
+			Help: "Well-formed packets attributed to this tenant.",
+		}, func() uint64 { return tn.packets.Load() })
+		r.CounterFunc(obs.Desc{
+			Name: "triogo_hostagg_tenant_shed_total", Unit: "packets", Labels: l,
+			Help: "This tenant's refused block creations (quota plus fair-share).",
+		}, func() uint64 { return tn.shed.Load() })
+		r.CounterFunc(obs.Desc{
+			Name: "triogo_hostagg_tenant_rate_shed_total", Unit: "packets", Labels: l,
+			Help: "Packets dropped by this tenant's token bucket.",
+		}, func() uint64 { return tn.rateShed.Load() })
+		r.CounterFunc(obs.Desc{
+			Name: "triogo_hostagg_tenant_evicted_total", Unit: "blocks", Labels: l,
+			Help: "This tenant's open blocks displaced by weighted-fair shedding.",
+		}, func() uint64 { return tn.evicted.Load() })
+		r.CounterFunc(obs.Desc{
+			Name: "triogo_hostagg_tenant_nacks_total", Unit: "packets", Labels: l,
+			Help: "Retry-after NACKs sent to this tenant.",
+		}, func() uint64 { return tn.nacks.Load() })
+	}
 
 	for i, sh := range s.shards {
 		sh := sh

@@ -59,6 +59,21 @@ type ServerConfig struct {
 	// Faults attaches deterministic recv-drop and shard-crash injection;
 	// nil (the default) leaves the server fault-free.
 	Faults *faults.HostaggInjector
+
+	// TenantQuotas configures per-tenant admission quotas, keyed by tenant
+	// id. Jobs map to tenants through JobTenants; unmapped jobs get a tenant
+	// of their own job id (one-tenant-per-job).
+	TenantQuotas map[uint8]TenantQuota
+	// DefaultTenantQuota applies to tenants without an entry in
+	// TenantQuotas. The zero value means no per-tenant limits.
+	DefaultTenantQuota TenantQuota
+	// JobTenants maps job ids to tenant ids, letting several jobs share one
+	// tenant's quotas. Jobs absent from the map are their own tenant.
+	JobTenants map[uint8]uint8
+	// RetryAfter is the back-off suggested in retry-after NACKs (sent to
+	// refused senders once the overload ladder reaches pressure). Zero picks
+	// 20ms.
+	RetryAfter time.Duration
 }
 
 type blockState struct {
@@ -69,6 +84,9 @@ type blockState struct {
 	final    bool
 	lastRef  time.Time
 	refFlag  bool // cleared by the scanner, set by packets (REF semantics)
+
+	tenant *tenantState // owning tenant, charged for the block while open
+	bytes  int64        // gradient bytes charged against the tenant
 }
 
 // shard is one partition of the block table with its own lock, so traffic
@@ -127,6 +145,9 @@ type Server struct {
 	jobLast    [256]atomic.Int64 // unix-nano of the job's last packet
 	jobExpired [256]atomic.Bool  // set while a job stands evicted
 
+	tenants  *tenantTable
+	overload atomic.Int32 // ladder rung: stateNormal/statePressure/stateOverload
+
 	counters serverCounters
 	emitPool sync.Pool // *[]byte result payloads
 
@@ -151,6 +172,15 @@ type ServerStats struct {
 	JobsExpired    uint64 // jobs evicted whole by JobIdleTimeout
 	BlocksTimedOut uint64 // open blocks aged out by the scanners
 	ResultReplays  uint64 // retransmits answered from the served-result cache
+
+	Malformed      uint64 // datagrams rejected at decode: truncated, oversized, garbage
+	QuotaShed      uint64 // block creations refused by the sender tenant's own quota
+	RateShed       uint64 // packets dropped by a tenant's token bucket
+	FairEvictions  uint64 // open blocks displaced by weighted-fair shedding
+	NacksSent      uint64 // retry-after NACKs sent to refused senders
+	PressureEnters uint64 // ladder transitions into pressure (or higher) from normal
+	OverloadEnters uint64 // ladder transitions into overload
+	OverloadState  string // current ladder rung: normal, pressure, overload
 }
 
 // serverCounters are the live atomic counters behind ServerStats.
@@ -168,6 +198,14 @@ type serverCounters struct {
 	jobsExpired    atomic.Uint64
 	blocksTimedOut atomic.Uint64
 	resultReplays  atomic.Uint64
+
+	malformed      atomic.Uint64
+	quotaShed      atomic.Uint64
+	rateShed       atomic.Uint64
+	fairEvictions  atomic.Uint64
+	nacksSent      atomic.Uint64
+	pressureEnters atomic.Uint64
+	overloadEnters atomic.Uint64
 }
 
 // key packs (job, block) like the data-plane hash key.
@@ -214,6 +252,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.JobIdleTimeout > 0 && cfg.Timeout <= 0 {
 		return nil, fmt.Errorf("hostagg: JobIdleTimeout requires Timeout > 0 (the aging scanners run the eviction)")
 	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 20 * time.Millisecond
+	}
 	if _, err := net.ResolveUDPAddr("udp", cfg.ListenAddr); err != nil {
 		return nil, fmt.Errorf("hostagg: resolve %q: %w", cfg.ListenAddr, err)
 	}
@@ -226,6 +267,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		shards:     make([]*shard, cfg.Shards),
 		shardShift: uint(64 - bits.Len(uint(cfg.Shards-1))),
 		workers:    make(map[uint16]*net.UDPAddr),
+		tenants:    newTenantTable(cfg.TenantQuotas, cfg.JobTenants, cfg.DefaultTenantQuota),
 		closed:     make(chan struct{}),
 	}
 	for i := range s.shards {
@@ -318,6 +360,15 @@ func (s *Server) Stats() ServerStats {
 		JobsExpired:    s.counters.jobsExpired.Load(),
 		BlocksTimedOut: s.counters.blocksTimedOut.Load(),
 		ResultReplays:  s.counters.resultReplays.Load(),
+
+		Malformed:      s.counters.malformed.Load(),
+		QuotaShed:      s.counters.quotaShed.Load(),
+		RateShed:       s.counters.rateShed.Load(),
+		FairEvictions:  s.counters.fairEvictions.Load(),
+		NacksSent:      s.counters.nacksSent.Load(),
+		PressureEnters: s.counters.pressureEnters.Load(),
+		OverloadEnters: s.counters.overloadEnters.Load(),
+		OverloadState:  overloadStateName(s.overload.Load()),
 	}
 }
 
@@ -378,18 +429,40 @@ func (s *Server) handle(conn *net.UDPConn, payload []byte, from *net.UDPAddr) {
 	var h packet.TrioML
 	rest, err := h.Unmarshal(payload)
 	if err != nil {
-		s.counters.badPackets.Add(1)
+		// Truncated or garbage datagram: it never decoded, so it is
+		// malformed wire data, not a protocol-level bad packet.
+		s.counters.malformed.Add(1)
 		return
 	}
 	// Length-validate only: the hot path sums wire bytes in place with
 	// AddGradients, so a per-packet []int32 is parsed solely when a block
-	// record adopts the vector (creation and generation restart).
-	if packet.CheckGradients(rest, int(h.GradCnt)) != nil || int(h.SrcID) >= s.cfg.NumWorkers {
+	// record adopts the vector (creation and generation restart). The body
+	// must hold exactly GradCnt gradients — a short body is truncated and an
+	// over-long one is an oversized datagram whose tail would silently
+	// vanish; both are malformed.
+	if int(h.GradCnt) > packet.MaxGradientsPerPacket || len(rest) != 4*int(h.GradCnt) {
+		s.counters.malformed.Add(1)
+		return
+	}
+	if int(h.SrcID) >= s.cfg.NumWorkers {
+		// Decodes fine but claims a source outside the job's fleet: a
+		// protocol violation rather than wire damage.
 		s.counters.badPackets.Add(1)
 		return
 	}
 	now := time.Now()
 	s.counters.packets.Add(1)
+	tn := s.tenants.tenantOf(h.JobID)
+	tn.packets.Add(1)
+	if !tn.allowPacket(now) {
+		// Token-bucket shed: the tenant is over its packet rate. Dropped
+		// before registration and before any shard lock, so a flooding
+		// tenant costs the server almost nothing per excess packet.
+		tn.rateShed.Add(1)
+		s.counters.rateShed.Add(1)
+		s.sendNack(conn, from, &h, tn, packet.RetryReasonQuota)
+		return
+	}
 	s.register(uint16(h.JobID)<<8|uint16(h.SrcID), from)
 	s.jobLast[h.JobID].Store(now.UnixNano())
 	s.jobExpired[h.JobID].Store(false)
@@ -405,7 +478,10 @@ func (s *Server) handle(conn *net.UDPConn, payload []byte, from *net.UDPAddr) {
 	}
 	sh.recv.Add(1)
 	b := sh.blocks[k]
-	if b == nil && sh.served != nil {
+	if b == nil && sh.served != nil && s.overload.Load() < statePressure {
+		// The replay cache is a nicety the ladder sheds first: at pressure
+		// and above, lookups are skipped so retransmits for served blocks
+		// fall through to admission (and are themselves shed if over quota).
 		if sb := sh.served[k]; sb != nil {
 			switch {
 			case h.GenID == sb.b.genID:
@@ -430,22 +506,47 @@ func (s *Server) handle(conn *net.UDPConn, payload []byte, from *net.UDPAddr) {
 	}
 	switch {
 	case b == nil:
-		if (s.cfg.MaxOpenBlocks > 0 && s.openBlocks.Load() >= int64(s.cfg.MaxOpenBlocks)) ||
-			(s.cfg.MaxBlocksPerJob > 0 && s.jobOpen[h.JobID].Load() >= int64(s.cfg.MaxBlocksPerJob)) {
+		blockBytes := int64(4) * int64(h.GradCnt)
+		if s.cfg.MaxBlocksPerJob > 0 && s.jobOpen[h.JobID].Load() >= int64(s.cfg.MaxBlocksPerJob) {
 			s.counters.shed.Add(1)
+			tn.shed.Add(1)
 			sh.mu.Unlock()
+			s.sendNack(conn, from, &h, tn, packet.RetryReasonQuota)
 			return
+		}
+		if (tn.quota.MaxOpenBlocks > 0 && tn.open.Load() >= int64(tn.quota.MaxOpenBlocks)) ||
+			(tn.quota.MaxBytesInFlight > 0 && tn.bytes.Load()+blockBytes > tn.quota.MaxBytesInFlight) {
+			// The tenant's own quota is exhausted: shed regardless of how
+			// idle the rest of the server is.
+			s.counters.quotaShed.Add(1)
+			tn.shed.Add(1)
+			sh.mu.Unlock()
+			s.sendNack(conn, from, &h, tn, packet.RetryReasonQuota)
+			return
+		}
+		atCap := s.cfg.MaxOpenBlocks > 0 && s.openBlocks.Load() >= int64(s.cfg.MaxOpenBlocks)
+		if atCap || s.overload.Load() == stateOverload {
+			// Global pressure: admission is only by displacement. A tenant
+			// under its fair share evicts one block of the tenant furthest
+			// over; the furthest-over tenant itself is refused, so an
+			// aggressor's storm is absorbed by the aggressor.
+			if !s.fairEvictLocked(sh, tn) {
+				s.counters.shed.Add(1)
+				tn.shed.Add(1)
+				sh.mu.Unlock()
+				s.sendNack(conn, from, &h, tn, packet.RetryReasonOverload)
+				return
+			}
 		}
 		grads, gerr := packet.Gradients(rest, int(h.GradCnt))
 		if gerr != nil {
-			s.counters.badPackets.Add(1)
+			s.counters.malformed.Add(1)
 			sh.mu.Unlock()
 			return
 		}
-		b = &blockState{sums: grads, genID: h.GenID, final: h.Final}
+		b = &blockState{sums: grads, genID: h.GenID, final: h.Final, tenant: tn, bytes: blockBytes}
 		sh.blocks[k] = b
-		s.openBlocks.Add(1)
-		s.jobOpen[h.JobID].Add(1)
+		s.blockOpened(b, h.JobID)
 	case h.GenID != b.genID && int16(h.GenID-b.genID) < 0:
 		s.counters.staleDrops.Add(1)
 		sh.drop.Add(1)
@@ -465,6 +566,7 @@ func (s *Server) handle(conn *net.UDPConn, payload []byte, from *net.UDPAddr) {
 		b.rcvdMask, b.rcvdCnt = 0, 0
 		b.sums = grads
 		b.final = h.Final
+		s.retagBlockBytes(b, int64(4)*int64(h.GradCnt))
 		s.counters.genRestarts.Add(1)
 	case b.rcvdMask&(1<<h.SrcID) != 0:
 		s.counters.duplicates.Add(1)
@@ -483,6 +585,7 @@ func (s *Server) handle(conn *net.UDPConn, payload []byte, from *net.UDPAddr) {
 				grown := make([]int32, n)
 				copy(grown, b.sums)
 				b.sums = grown
+				s.retagBlockBytes(b, int64(4)*int64(n))
 			}
 		}
 		packet.AddGradients(b.sums, rest, n)
@@ -499,10 +602,9 @@ func (s *Server) handle(conn *net.UDPConn, payload []byte, from *net.UDPAddr) {
 	if b.rcvdCnt >= s.cfg.NumWorkers {
 		done = b
 		delete(sh.blocks, k)
-		s.openBlocks.Add(-1)
-		s.jobOpen[h.JobID].Add(-1)
+		s.blockClosed(b, h.JobID)
 		s.counters.completed.Add(1)
-		if sh.served != nil {
+		if sh.served != nil && s.overload.Load() < statePressure {
 			sh.cacheServedLocked(k, &servedBlock{b: b})
 		}
 	}
@@ -514,6 +616,126 @@ func (s *Server) handle(conn *net.UDPConn, payload []byte, from *net.UDPAddr) {
 	if done != nil {
 		sh.emit.Add(1)
 		s.emit(conn, h.JobID, h.BlockID, done, false, s.targets(h.JobID))
+	}
+}
+
+// blockOpened and blockClosed centralize open-block accounting — the global
+// count, the per-job table, and the owning tenant's open/bytes charges — and
+// re-evaluate the overload ladder after every change.
+func (s *Server) blockOpened(b *blockState, job uint8) {
+	s.openBlocks.Add(1)
+	s.jobOpen[job].Add(1)
+	if b.tenant != nil {
+		b.tenant.open.Add(1)
+		b.tenant.bytes.Add(b.bytes)
+	}
+	s.updateOverload()
+}
+
+func (s *Server) blockClosed(b *blockState, job uint8) {
+	s.openBlocks.Add(-1)
+	s.jobOpen[job].Add(-1)
+	if b.tenant != nil {
+		b.tenant.open.Add(-1)
+		b.tenant.bytes.Add(-b.bytes)
+	}
+	s.updateOverload()
+}
+
+// retagBlockBytes re-charges an open block whose gradient vector changed
+// size (generation restart, mismatch growth) against its tenant.
+func (s *Server) retagBlockBytes(b *blockState, newBytes int64) {
+	if b.tenant != nil {
+		b.tenant.bytes.Add(newBytes - b.bytes)
+	}
+	b.bytes = newBytes
+}
+
+// fairEvictLocked admits one block for tn while the server is at its global
+// cap (or in the overload rung) by displacing an open block of the tenant
+// furthest over its weighted fair share (open blocks per unit of weight).
+// It returns false — refuse the arrival — when tn itself is or would become
+// the furthest-over tenant, which is exactly how an aggressor's storm ends
+// up absorbed by the aggressor. Caller holds cur.mu; other shards are only
+// probed with TryLock so two concurrent evictions can never deadlock.
+func (s *Server) fairEvictLocked(cur *shard, tn *tenantState) bool {
+	var worst *tenantState
+	var worstShare float64
+	for _, cand := range s.tenants.snapshot() {
+		if cand.open.Load() == 0 {
+			continue
+		}
+		if share := cand.overShare(0); worst == nil || share > worstShare {
+			worst, worstShare = cand, share
+		}
+	}
+	if worst == nil || tn.overShare(1) >= worstShare {
+		return false
+	}
+	if s.evictTenantBlockLocked(cur, worst) {
+		return true
+	}
+	for _, sh := range s.shards {
+		if sh == cur {
+			continue
+		}
+		if !sh.mu.TryLock() {
+			continue
+		}
+		ok := s.evictTenantBlockLocked(sh, worst)
+		sh.mu.Unlock()
+		if ok {
+			return true
+		}
+	}
+	// The worst tenant's blocks were all behind contended shard locks (or
+	// vanished since the scan): refuse rather than wait on another shard.
+	return false
+}
+
+// evictTenantBlockLocked discards one open block owned by victim from sh,
+// without emitting — its sources recover by retransmitting once the storm
+// passes. Caller holds sh.mu.
+func (s *Server) evictTenantBlockLocked(sh *shard, victim *tenantState) bool {
+	for k, b := range sh.blocks {
+		if b.tenant != victim {
+			continue
+		}
+		delete(sh.blocks, k)
+		s.blockClosed(b, uint8(k>>32))
+		victim.evicted.Add(1)
+		s.counters.fairEvictions.Add(1)
+		sh.drop.Add(uint64(b.rcvdCnt))
+		return true
+	}
+	return false
+}
+
+// sendNack answers a refused contribution with a retry-after control packet
+// echoing the refused header. NACKs flow only once the ladder is at pressure
+// or above — below that, the client's own retransmit cadence is recovery
+// enough — and are rate-limited per tenant so a refusal storm cannot amplify
+// into a NACK storm.
+func (s *Server) sendNack(conn *net.UDPConn, from *net.UDPAddr, h *packet.TrioML, tn *tenantState, reason uint8) {
+	if s.overload.Load() < statePressure {
+		return
+	}
+	now := time.Now().UnixNano()
+	minGap := int64(s.cfg.RetryAfter) / 4
+	for {
+		last := tn.lastNack.Load()
+		if last != 0 && now-last < minGap {
+			return
+		}
+		if tn.lastNack.CompareAndSwap(last, now) {
+			break
+		}
+	}
+	tn.nacks.Add(1)
+	s.counters.nacksSent.Add(1)
+	buf := packet.BuildRetryAfter(*h, reason, uint32(s.cfg.RetryAfter/time.Millisecond))
+	if _, err := conn.WriteToUDP(buf, from); err != nil {
+		s.log.Warn("hostagg: send nack", "to", from, "err", err)
 	}
 }
 
@@ -540,9 +762,8 @@ func (sh *shard) cacheServedLocked(k uint64, sb *servedBlock) {
 // blocks by retransmitting contributions that rebuild them from scratch.
 // Caller holds sh.mu.
 func (s *Server) crashShardLocked(sh *shard) {
-	for k := range sh.blocks {
-		s.openBlocks.Add(-1)
-		s.jobOpen[uint8(k>>32)].Add(-1)
+	for k, b := range sh.blocks {
+		s.blockClosed(b, uint8(k>>32))
 		delete(sh.blocks, k)
 	}
 }
@@ -582,9 +803,17 @@ func (s *Server) scanShard(sh *shard, conn *net.UDPConn) {
 		var expiredJobs []uint8
 		sh.mu.Lock()
 		now := time.Now()
+		ladder := s.overload.Load()
 		idleCutoff := int64(0)
 		if s.cfg.JobIdleTimeout > 0 {
-			idleCutoff = now.UnixNano() - int64(s.cfg.JobIdleTimeout)
+			idle := s.cfg.JobIdleTimeout
+			if ladder == stateOverload {
+				// Overload accelerates reclamation: a job only a quarter of
+				// the way to idle eviction is evicted now, returning its
+				// blocks to tenants that are still making progress.
+				idle /= 4
+			}
+			idleCutoff = now.UnixNano() - int64(idle)
 		}
 		for k, b := range sh.blocks {
 			job := uint8(k >> 32)
@@ -595,8 +824,7 @@ func (s *Server) scanShard(sh *shard, conn *net.UDPConn) {
 					// CAS arbitrates between concurrent scanners), and have
 					// the winner drop the job's worker registrations too.
 					delete(sh.blocks, k)
-					s.openBlocks.Add(-1)
-					s.jobOpen[job].Add(-1)
+					s.blockClosed(b, job)
 					if s.jobExpired[job].CompareAndSwap(false, true) {
 						s.counters.jobsExpired.Add(1)
 						expiredJobs = append(expiredJobs, job)
@@ -611,11 +839,10 @@ func (s *Server) scanShard(sh *shard, conn *net.UDPConn) {
 			if now.Sub(b.lastRef) >= s.cfg.Timeout && b.rcvdCnt > 0 {
 				aged = append(aged, agedBlock{job, uint32(k), b})
 				delete(sh.blocks, k)
-				s.openBlocks.Add(-1)
-				s.jobOpen[job].Add(-1)
+				s.blockClosed(b, job)
 				s.counters.degraded.Add(1)
 				s.counters.blocksTimedOut.Add(1)
-				if sh.served != nil {
+				if sh.served != nil && ladder < statePressure {
 					// An aged block is served too: retransmits for it replay
 					// the same degraded result instead of re-opening it.
 					sh.cacheServedLocked(k, &servedBlock{b: b, degraded: true})
@@ -649,7 +876,7 @@ func (s *Server) dropJobWorkers(job uint8) {
 func (s *Server) emit(conn *net.UDPConn, job uint8, block uint32, b *blockState, degraded bool, targets []*net.UDPAddr) {
 	hdr := packet.TrioML{
 		JobID: job, BlockID: block, GenID: b.genID,
-		SrcID: 0xFF, SrcCnt: uint8(b.rcvdCnt), GradCnt: uint16(len(b.sums)),
+		SrcID: packet.ResultSrcID, SrcCnt: uint8(b.rcvdCnt), GradCnt: uint16(len(b.sums)),
 		Degraded: degraded, Final: b.final,
 	}
 	if degraded {

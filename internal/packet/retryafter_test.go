@@ -1,0 +1,50 @@
+package packet
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRetryAfterRoundTrip(t *testing.T) {
+	buf := BuildRetryAfter(TrioML{
+		JobID: 7, BlockID: 42, GenID: 9, SrcID: 3, GradCnt: 128,
+	}, RetryReasonQuota, 25)
+	if len(buf) != TrioMLHeaderLen+RetryAfterLen {
+		t.Fatalf("len = %d", len(buf))
+	}
+	var h TrioML
+	rest, err := h.Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.SrcID != CtrlSrcID {
+		t.Fatalf("src id = %#x, want CtrlSrcID", h.SrcID)
+	}
+	if h.AgeOp != RetryReasonQuota {
+		t.Fatalf("reason = %d", h.AgeOp)
+	}
+	if h.JobID != 7 || h.BlockID != 42 || h.GenID != 9 {
+		t.Fatalf("echoed header = %+v", h)
+	}
+	if h.GradCnt != 0 {
+		t.Fatalf("grad cnt = %d, want 0 on a control packet", h.GradCnt)
+	}
+	var ra RetryAfter
+	tail, err := ra.Unmarshal(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Millis != 25 {
+		t.Fatalf("millis = %d", ra.Millis)
+	}
+	if len(tail) != 0 {
+		t.Fatalf("tail = %d bytes", len(tail))
+	}
+}
+
+func TestRetryAfterTruncated(t *testing.T) {
+	var ra RetryAfter
+	if _, err := ra.Unmarshal([]byte{1, 2}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}

@@ -50,7 +50,12 @@ func main() {
 	p.RegisterObs(reg)
 	p.Mem.RegisterObs(reg)
 
-	srv, err := hostagg.NewServer(hostagg.ServerConfig{ListenAddr: "127.0.0.1:0", NumWorkers: 1})
+	// A configured tenant makes the per-tenant series register, mirroring a
+	// multi-tenant production deployment.
+	srv, err := hostagg.NewServer(hostagg.ServerConfig{
+		ListenAddr: "127.0.0.1:0", NumWorkers: 1, MaxOpenBlocks: 64,
+		TenantQuotas: map[uint8]hostagg.TenantQuota{1: {MaxOpenBlocks: 8}},
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "obscheck: start hostagg server: %v\n", err)
 		os.Exit(1)
