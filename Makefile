@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet verify verify-hostagg verify-hostagg-live verify-vfp verify-obs verify-faults verify-dse verify-sim verify-microcode verify-tree chaos smoke-examples bench-hostagg bench-sim bench-dse bench-microcode
+.PHONY: build test vet verify verify-hostagg verify-hostagg-live verify-vfp verify-obs verify-faults verify-dse verify-sim verify-microcode verify-tree verify-apps chaos smoke-examples bench-hostagg bench-sim bench-dse bench-microcode
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,7 @@ vet:
 # path, vfp's host datapath, obs's atomic instruments, dse's worker pool,
 # tree's partitioned hierarchy), the metric documentation check, and an
 # every-example smoke run.
-verify: build test vet verify-hostagg verify-hostagg-live verify-vfp verify-obs verify-faults verify-dse verify-sim verify-microcode verify-tree smoke-examples
+verify: build test vet verify-hostagg verify-hostagg-live verify-vfp verify-obs verify-faults verify-dse verify-sim verify-microcode verify-tree verify-apps smoke-examples
 
 verify-hostagg:
 	$(GO) test -race ./internal/hostagg/...
@@ -91,8 +91,24 @@ verify-microcode:
 	$(GO) test -race ./internal/microcode/
 	$(GO) test -run FuzzAssemble ./internal/microcode/
 
+# verify-apps races both in-network application packages (netrpc's concurrent
+# cache-service paths, infnet's classifier) and the harness's apps pins: the
+# seed-1 golden tables, the two-run seed determinism check, the P in {1,2}
+# cross-partition determinism check, and the per-experiment hard checks
+# (instruction-exact cost conformance, reference-model bit-identity,
+# cache-poisoning rejection).
+verify-apps:
+	$(GO) test -race ./internal/apps/...
+	$(GO) test -race -run 'TestGoldenAppsDeterminism|TestAppsSeedDeterminism|TestAppsCrossPartitionDeterminism|TestNetRPCHardChecks|TestInfnetHardChecks' ./internal/harness/
+
+# bench-hostagg measures the sharded hot path and the loopback UDP allreduce
+# and writes BENCH_hostagg.json (contention numbers are CPU-count dependent;
+# the JSON records num_cpu).
 bench-hostagg:
-	$(GO) test -run xxx -bench 'Shard|AllReduceUDP' ./internal/hostagg/
+	$(GO) test -run xxx -bench 'Shard|AllReduceUDP' -benchmem ./internal/hostagg/ > .bench_hostagg_raw.txt
+	$(GO) run ./tools/benchhostagg -in .bench_hostagg_raw.txt -out BENCH_hostagg.json
+	@rm -f .bench_hostagg_raw.txt
+	@cat BENCH_hostagg.json
 
 # bench-sim measures the event core and the Fig. 14/15 simulation loops and
 # writes BENCH_sim.json (pre-refactor baseline vs current).

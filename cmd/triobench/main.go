@@ -29,6 +29,21 @@
 // shed attributed to the aggressor (DESIGN.md §10). Its table cells are
 // categorical (yes/NO/-), so the seed-1 capture golden-pins despite
 // real-socket timing.
+// -exp netrpc drives the in-network RPC aggregation/caching application
+// (internal/apps/netrpc): closed-loop clients behind a PFE-resident request
+// cache with the origin across a slow metro link, reporting origin offload,
+// reply latency by path (uncached / cache hit / coalesced fanout), an
+// instruction-exact cost-model conformance check, and a cache-poisoning
+// fault-injection table; it exits non-zero if cached replies are not at
+// least 2x faster than uncached, any poisoned payload is delivered, or the
+// measured dynamic instruction count deviates from the model by even one.
+// -exp infnet drives the in-network MLP inference application
+// (internal/apps/infnet): a quantized int8 detector compiled to branch-free
+// microcode classifies labelled traffic per packet, reporting flagging
+// precision/recall against generator ground truth, DDoS shedding with zero
+// benign loss, exact cost-model conformance, and a model-shape DSE table;
+// it exits non-zero if any delivered verdict differs from the Go reference
+// model bit for bit.
 // -exp dse runs the design-space exploration sweep (internal/dse); -parallel
 // spreads its trials — and every other migrated sweep — over a worker pool
 // without changing a single output byte. -partitions P splits each rig's

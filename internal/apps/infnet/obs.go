@@ -1,0 +1,22 @@
+package infnet
+
+import (
+	"github.com/trioml/triogo/internal/obs"
+)
+
+// RegisterObs exports the classifier's counters into a metrics registry.
+// Both series read the shared-memory RMW counters the program increments
+// in the data path.
+func (s *Service) RegisterObs(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc(obs.Desc{
+		Name: "triogo_apps_infnet_benign_total", Unit: "packets",
+		Help: "Packets the in-network MLP classified benign and forwarded.",
+	}, func() uint64 { return s.Stats().Benign })
+	r.CounterFunc(obs.Desc{
+		Name: "triogo_apps_infnet_attack_total", Unit: "packets",
+		Help: "Packets classified as attacks (marked in ModeFlag, dropped in ModeShed).",
+	}, func() uint64 { return s.Stats().Attack })
+}

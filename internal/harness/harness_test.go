@@ -7,7 +7,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"ablation", "advanced", "chaos", "dse", "fig12", "fig13", "fig14", "fig15", "fig16", "livechaos", "microcode", "progdse", "table1", "tree", "treechaos"}
+	want := []string{"ablation", "advanced", "chaos", "dse", "fig12", "fig13", "fig14", "fig15", "fig16", "infnet", "livechaos", "microcode", "netrpc", "progdse", "table1", "tree", "treechaos"}
 	got := Experiments()
 	if len(got) != len(want) {
 		t.Fatalf("experiments = %d, want %d", len(got), len(want))

@@ -13,6 +13,7 @@ import (
 
 	"github.com/trioml/triogo/internal/faults"
 	"github.com/trioml/triogo/internal/packet"
+	"github.com/trioml/triogo/internal/replay"
 )
 
 // ServerConfig parameterizes an aggregation server.
@@ -98,12 +99,11 @@ type shard struct {
 	blocks map[uint64]*blockState
 
 	// served retains recently emitted results for retransmit replay
-	// (ReplayWindow > 0), with FIFO eviction through ring/ringHead. The
-	// generation in each ring slot disambiguates it from a later re-serve
-	// of the same block id.
-	served   map[uint64]*servedBlock
-	ring     []servedSlot
-	ringHead int
+	// (ReplayWindow > 0, nil otherwise). The FIFO/generation machinery
+	// lives in internal/replay, extracted from this shard so apps/netrpc
+	// can share it; the cache is keyed by block key with the block's
+	// generation as the replay generation.
+	served *replay.Cache[*servedBlock]
 
 	flt *faults.HostaggShard // injected recv-drop/crash stream; nil when off
 
@@ -115,11 +115,6 @@ type shard struct {
 type servedBlock struct {
 	b        *blockState
 	degraded bool
-}
-
-type servedSlot struct {
-	key uint64
-	gen uint16
 }
 
 // Server aggregates gradient blocks arriving over UDP and multicasts (by
@@ -273,8 +268,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	for i := range s.shards {
 		sh := &shard{blocks: make(map[uint64]*blockState)}
 		if cfg.ReplayWindow > 0 {
-			sh.served = make(map[uint64]*servedBlock, cfg.ReplayWindow)
-			sh.ring = make([]servedSlot, cfg.ReplayWindow)
+			sh.served = replay.New[*servedBlock](cfg.ReplayWindow)
 		}
 		if cfg.Faults != nil {
 			sh.flt = cfg.Faults.Shard(i)
@@ -482,9 +476,9 @@ func (s *Server) handle(conn *net.UDPConn, payload []byte, from *net.UDPAddr) {
 		// The replay cache is a nicety the ladder sheds first: at pressure
 		// and above, lookups are skipped so retransmits for served blocks
 		// fall through to admission (and are themselves shed if over quota).
-		if sb := sh.served[k]; sb != nil {
+		if sb, gen, ok := sh.served.Lookup(k); ok {
 			switch {
-			case h.GenID == sb.b.genID:
+			case h.GenID == gen:
 				// Retransmit for a block already served: replay the cached
 				// result to the sender only, instead of re-opening the block
 				// and eventually answering with a wrong one-source sum.
@@ -493,14 +487,14 @@ func (s *Server) handle(conn *net.UDPConn, payload []byte, from *net.UDPAddr) {
 				sh.emit.Add(1)
 				s.emit(conn, h.JobID, h.BlockID, sb.b, sb.degraded, []*net.UDPAddr{from})
 				return
-			case int16(h.GenID-sb.b.genID) < 0:
+			case int16(h.GenID-gen) < 0:
 				s.counters.staleDrops.Add(1)
 				sh.drop.Add(1)
 				sh.mu.Unlock()
 				return
 			default:
 				// Newer generation reuses the id: the cached result is dead.
-				delete(sh.served, k)
+				sh.served.Delete(k)
 			}
 		}
 	}
@@ -605,7 +599,7 @@ func (s *Server) handle(conn *net.UDPConn, payload []byte, from *net.UDPAddr) {
 		s.blockClosed(b, h.JobID)
 		s.counters.completed.Add(1)
 		if sh.served != nil && s.overload.Load() < statePressure {
-			sh.cacheServedLocked(k, &servedBlock{b: b})
+			sh.served.Put(k, b.genID, &servedBlock{b: b})
 		}
 	}
 	if sh.flt != nil && sh.flt.CrashNow() {
@@ -739,22 +733,6 @@ func (s *Server) sendNack(conn *net.UDPConn, from *net.UDPAddr, h *packet.TrioML
 	}
 }
 
-// cacheServedLocked inserts a served result with FIFO eviction through the
-// fixed-size ring; the generation stored in each slot disambiguates a slot
-// from a later re-serve of the same block id. Caller holds sh.mu.
-func (sh *shard) cacheServedLocked(k uint64, sb *servedBlock) {
-	slot := &sh.ring[sh.ringHead]
-	if old := sh.served[slot.key]; old != nil && old.b.genID == slot.gen {
-		delete(sh.served, slot.key)
-	}
-	*slot = servedSlot{key: k, gen: sb.b.genID}
-	sh.ringHead++
-	if sh.ringHead == len(sh.ring) {
-		sh.ringHead = 0
-	}
-	sh.served[k] = sb
-}
-
 // crashShardLocked models an injected shard crash: every open (partial)
 // block is discarded without emitting, as if the aggregation state was lost
 // and restarted empty. The served-result cache survives — sources recover
@@ -845,7 +823,7 @@ func (s *Server) scanShard(sh *shard, conn *net.UDPConn) {
 				if sh.served != nil && ladder < statePressure {
 					// An aged block is served too: retransmits for it replay
 					// the same degraded result instead of re-opening it.
-					sh.cacheServedLocked(k, &servedBlock{b: b, degraded: true})
+					sh.served.Put(k, b.genID, &servedBlock{b: b, degraded: true})
 				}
 			}
 		}

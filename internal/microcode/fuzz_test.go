@@ -77,6 +77,13 @@ func FuzzAssemble(f *testing.F) {
 	f.Add("program ptr;\n\np1:\nbegin\n    r11 = 64;\n    goto p2;\nend\n\np2:\nbegin\n    lmem32[r11] = lmem32[r11] + lmem32[r11 + 4];\n    tail_read(0, 16, 128);\n    exit(consume);\nend\n")
 	f.Add("program bad;\n\nx:\nbegin\n    goto nowhere;\nend\n")
 	f.Add("program rec;\n\nr:\nbegin\n    call r;\nend\n")
+	// infnet family: signed int8 MAC chains with the branch-free mask ReLU
+	// (sign extraction via logical shift, wrapping mul/sub) and a two's-
+	// complement immediate from constant folding ("0 - 5").
+	f.Add("program mlp;\n\ndefine CTR = 36864;\n\nreg acc = r2;\nreg tmp = r3;\nreg sign = r4;\nreg mask = r5;\n\nbias:\nbegin\n    acc = 0 - 5;\n    goto mac;\nend\n\nmac:\nbegin\n    tmp = lmem8[22] * 3;\n    acc = acc - tmp;\n    goto relu;\nend\n\nrelu:\nbegin\n    sign = acc >> 63;\n    mask = sign - 1;\n    goto relu2;\nend\n\nrelu2:\nbegin\n    acc = acc & mask;\n    r16 = acc >> 2;\n    goto decide;\nend\n\ndecide:\nbegin\n    if (sign != 0) { goto hit; }\n    counter_inc(CTR + 0, 1);\n    exit(forward);\nend\n\nhit:\nbegin\n    counter_inc(CTR + 16, 1);\n    exit(drop);\nend\n")
+	// netrpc family: keyed-table claim (hash insert + record write-back) and
+	// a register-addressed counter increment on the serve path.
+	f.Add("program rpc;\n\ndefine RS = 1024;\n\nreg rpc = r2;\nreg slot = r3;\nreg rec = r4;\nreg tmp = r8;\n\nlook:\nbegin\n    rpc = lmem64[50];\n    hash_lookup(rpc);\n    if (c0 == 1) { goto serve; }\n    goto claim;\nend\n\nclaim:\nbegin\n    slot = rpc & 1023;\n    lmem64[RS] = rpc;\n    lmem64[RS + 8] = 1;\n    goto claim2;\nend\n\nclaim2:\nbegin\n    async mem_write(rec, 32, RS);\n    hash_insert(rpc, slot);\n    counter_inc(0, 1);\n    exit(forward);\nend\n\nserve:\nbegin\n    tmp = slot * 16;\n    counter_inc(tmp, 32);\n    lmem8[42] = 2;\n    exit(forward);\nend\n")
 	f.Fuzz(func(t *testing.T, src string) {
 		prog, err := Assemble(src)
 		if err != nil {

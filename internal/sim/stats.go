@@ -26,6 +26,13 @@ func (s *Sample) Add(x float64) {
 // AddTime records a virtual duration as floating-point microseconds.
 func (s *Sample) AddTime(t Time) { s.Add(t.Microseconds()) }
 
+// Merge records every observation of other into s.
+func (s *Sample) Merge(other *Sample) {
+	for _, x := range other.xs {
+		s.Add(x)
+	}
+}
+
 // N reports the number of observations.
 func (s *Sample) N() int { return len(s.xs) }
 

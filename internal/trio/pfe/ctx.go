@@ -342,6 +342,21 @@ type MicrocodeApp struct {
 	EgressPort int
 	Setup      func(th *microcode.Thread, ctx *Ctx)
 
+	// EgressReg, when nonzero, names the thread register whose low bits
+	// select the egress port for forwarded packets, overriding EgressPort —
+	// the microcode equivalent of a next-hop lookup result feeding the MQSS.
+	// Register 0 cannot be an egress register (it doubles as the disabled
+	// sentinel); programs use r1..r31.
+	EgressReg int
+
+	// Finish, when non-nil, runs after a thread terminates normally and its
+	// verdict has been applied — the reinject/replication hand-off (§2.3:
+	// egress replication happens in the MQSS, not the PPE). It sees the
+	// thread's final registers and local memory; netrpc uses it to fan a
+	// served result out to every coalesced waiter via ctx.Emit. It does not
+	// run for faulted threads (those drop).
+	Finish func(th *microcode.Thread, ctx *Ctx, v microcode.Verdict)
+
 	// Interpret forces the reference tree-walking interpreter.
 	Interpret bool
 
@@ -418,10 +433,17 @@ func (m *MicrocodeApp) Process(ctx *Ctx) {
 	copy(ctx.head, th.LMem[:len(ctx.head)])
 	switch v {
 	case microcode.VerdictForward:
-		ctx.Forward(m.EgressPort)
+		port := m.EgressPort
+		if m.EgressReg != 0 {
+			port = int(th.Regs[m.EgressReg] % uint64(ctx.pfe.Cfg.NumPorts))
+		}
+		ctx.Forward(port)
 	case microcode.VerdictConsume:
 		ctx.Consume()
 	default:
 		ctx.Drop()
+	}
+	if m.Finish != nil {
+		m.Finish(th, ctx, v)
 	}
 }

@@ -501,3 +501,71 @@ func TestPortStatsAndUtilization(t *testing.T) {
 		t.Fatal("idle port has frames")
 	}
 }
+
+func TestMicrocodeAppEgressReg(t *testing.T) {
+	// The program computes its own egress port into r5; EgressReg routes the
+	// forward verdict through it instead of the fixed EgressPort.
+	prog := microcode.MustAssemble(`
+program dynegress;
+reg port = r5;
+s: begin
+    port = 3;
+    exit(forward);
+end
+`)
+	eng := sim.NewEngine()
+	p := New(eng, Config{})
+	var got []delivered
+	p.SetOutput(collector(&got))
+	app := &MicrocodeApp{Program: prog, EgressPort: 1, EgressReg: 5}
+	p.SetApp(app)
+	p.Inject(0, 1, frameOfSize(100, 0))
+	eng.Run()
+	if app.Errors != 0 {
+		t.Fatalf("microcode errors = %d (%v)", app.Errors, app.LastError)
+	}
+	if len(got) != 1 || got[0].port != 3 {
+		t.Fatalf("delivered = %+v, want 1 frame on port 3", got)
+	}
+}
+
+func TestMicrocodeAppFinishFanout(t *testing.T) {
+	// The program consumes the packet after staging a waiter count in r4; the
+	// Finish hook replicates a reply per waiter — the MQSS-style replication
+	// hand-off netrpc's coalesced fanout uses.
+	prog := microcode.MustAssemble(`
+program fanout;
+reg waiters = r4;
+s: begin
+    waiters = 3;
+    exit(consume);
+end
+`)
+	eng := sim.NewEngine()
+	p := New(eng, Config{})
+	var got []delivered
+	p.SetOutput(collector(&got))
+	app := &MicrocodeApp{Program: prog, EgressPort: 1}
+	app.Finish = func(th *microcode.Thread, ctx *Ctx, v microcode.Verdict) {
+		if v != microcode.VerdictConsume {
+			t.Fatalf("finish verdict = %v", v)
+		}
+		for i := uint64(0); i < th.Regs[4]; i++ {
+			ctx.Emit(2, frameOfSize(64, byte(i)))
+		}
+	}
+	p.SetApp(app)
+	p.Inject(0, 1, frameOfSize(100, 0))
+	eng.Run()
+	if app.Errors != 0 {
+		t.Fatalf("microcode errors = %d (%v)", app.Errors, app.LastError)
+	}
+	if len(got) != 3 {
+		t.Fatalf("delivered %d frames, want 3 fanout replies", len(got))
+	}
+	for i, d := range got {
+		if d.port != 2 || d.frame[0] != byte(i) {
+			t.Fatalf("reply %d = port %d tag %d", i, d.port, d.frame[0])
+		}
+	}
+}

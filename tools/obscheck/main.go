@@ -2,7 +2,8 @@
 // both directions. It instantiates each instrumented subsystem (sim engine,
 // PFE + shared memory, hostagg server on a loopback socket, fault plan, dse
 // executor, microcode pipeline, a small multi-rack aggregation tree run to
-// completion), registers them all into one obs.Registry,
+// completion, the netrpc cache and infnet classifier applications), registers
+// them all into one obs.Registry,
 // and fails if any registered metric name is missing from the document — or if the document
 // names a `triogo_*` metric no subsystem registers (a stale doc entry).
 // Run by `make verify`.
@@ -15,6 +16,8 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/trioml/triogo/internal/apps/infnet"
+	"github.com/trioml/triogo/internal/apps/netrpc"
 	"github.com/trioml/triogo/internal/dse"
 	"github.com/trioml/triogo/internal/faults"
 	"github.com/trioml/triogo/internal/hostagg"
@@ -68,6 +71,27 @@ func main() {
 	(&dse.Executor{}).RegisterObs(reg)
 
 	microcode.RegisterObs(reg)
+
+	// Both in-network applications, each installed on its own PFE so the two
+	// programs' counter pools coexist.
+	rpcSvc, err := netrpc.Install(pfe.New(eng, pfe.Config{}), netrpc.Config{Slots: 64})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obscheck: install netrpc: %v\n", err)
+		os.Exit(1)
+	}
+	rpcSvc.RegisterObs(reg)
+
+	infSvc, err := infnet.Install(pfe.New(eng, pfe.Config{}), infnet.Config{
+		Features: []int{22},
+		Hidden:   [][]int8{{1}},
+		Bias1:    []int32{0},
+		Out:      [2][]int8{{1}, {0}},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obscheck: install infnet: %v\n", err)
+		os.Exit(1)
+	}
+	infSvc.RegisterObs(reg)
 
 	// A real (tiny) hierarchical tree, run to completion so the per-level
 	// series exist and carry non-trivial values when scraped.
